@@ -1,0 +1,78 @@
+"""Extension — FP16/BF16 offload thresholds (paper future work, §V).
+
+The paper could not include half precision ("not all BLAS libraries
+support HGEMM, and some that do are not intuitive to use").  The model
+supports it: GPUs run HGEMM through their matrix units (tensor cores /
+XMX / Matrix Cores) while CPUs without matrix engines convert to FP32
+SIMD — so the GPU compute advantage widens, and transfer bytes halve,
+pulling every offload threshold down relative to SGEMM.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, sweep, write_csv_rows
+from repro.core.threshold import threshold_for_series
+from repro.types import Kernel, Precision, TransferType
+
+PRECISIONS = (Precision.SINGLE, Precision.HALF, Precision.BFLOAT16)
+
+
+def _experiment():
+    out = {}
+    for system in SYSTEMS:
+        run = sweep(system, 8, problem_idents=("square",),
+                    kernels=(Kernel.GEMM,))
+        out[(system, Precision.SINGLE)] = threshold_for_series(
+            run.series_for(Kernel.GEMM, "square", Precision.SINGLE),
+            TransferType.ONCE,
+        )
+    # Half/bf16 need their own sweeps (not in the default precision set).
+    from repro.backends.simulated import AnalyticBackend
+    from repro.core.config import RunConfig
+    from repro.core.runner import run_sweep
+    from repro.systems.catalog import make_model
+
+    for system in SYSTEMS:
+        model = make_model(system)
+        for precision in (Precision.HALF, Precision.BFLOAT16):
+            cfg = RunConfig(min_dim=1, max_dim=4096, iterations=8, step=8,
+                            precisions=(precision,),
+                            kernels=(Kernel.GEMM,),
+                            problem_idents=("square",))
+            run = run_sweep(AnalyticBackend(model), cfg)
+            out[(system, precision)] = threshold_for_series(
+                run.series_for(Kernel.GEMM, "square", precision),
+                TransferType.ONCE,
+            )
+    return out
+
+
+def test_ext_half_precision_thresholds(benchmark):
+    thresholds = run_once(benchmark, _experiment)
+
+    print("\nSquare GEMM Transfer-Once thresholds by precision (8 iters):")
+    rows = [["system"] + [p.value for p in PRECISIONS]]
+    for system in SYSTEMS:
+        cells = []
+        for precision in PRECISIONS:
+            r = thresholds[(system, precision)]
+            cells.append(str(r.dims.m) if r.found else "—")
+        print(f"  {system:12s} " + "  ".join(
+            f"{p.blas_prefix}gemm={c}" for p, c in zip(PRECISIONS, cells)))
+        rows.append([system] + cells)
+    write_csv_rows("ext_half", "precision_thresholds.csv", rows)
+
+    for system in SYSTEMS:
+        sgemm = thresholds[(system, Precision.SINGLE)]
+        for precision in (Precision.HALF, Precision.BFLOAT16):
+            r = thresholds[(system, precision)]
+            assert r.found, (system, precision)
+            # Matrix units + halved transfer bytes: HGEMM offloads no
+            # later than SGEMM everywhere.
+            assert r.dims.m <= sgemm.dims.m if sgemm.found else True
+
+    # The effect is strongest on the discrete systems, where the CPU has
+    # no reduced-precision advantage at all.
+    dawn_s = thresholds[("dawn", Precision.SINGLE)].dims.m
+    dawn_h = thresholds[("dawn", Precision.HALF)].dims.m
+    assert dawn_h < 0.75 * dawn_s

@@ -1,0 +1,81 @@
+"""Extension — double-buffered Transfer-Always (pipeline ablation).
+
+The paper's Transfer-Always serializes h2d -> kernel -> d2h every
+iteration, which is why its thresholds *rise* with data re-use.  This
+bench runs the overlapped (double-buffered) schedule through the
+discrete-event engine and measures how much of that penalty an
+application could recover: the speedup over the serial schedule, and
+where the Transfer-Always offload threshold would move.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, write_csv_rows
+from repro.core.threshold import find_offload_threshold
+from repro.core.flops import flops_for
+from repro.sim.pipeline import pipelined_always_time, serial_always_time
+from repro.systems.catalog import make_model
+from repro.types import Dims, Precision
+
+ITERATIONS = 32
+SIZES = tuple(range(64, 2049, 64))
+
+
+def _experiment():
+    out = {}
+    for system in SYSTEMS:
+        model = make_model(system)
+        rows = []
+        for m in SIZES:
+            dims = Dims(m, m, m)
+            serial = serial_always_time(model, dims, Precision.SINGLE,
+                                        ITERATIONS)
+            piped = pipelined_always_time(model, dims, Precision.SINGLE,
+                                          ITERATIONS)
+            cpu = model.cpu_time(dims, Precision.SINGLE, ITERATIONS)
+            rows.append((m, cpu, serial, piped))
+        out[system] = rows
+    return out
+
+
+def _threshold(rows, gpu_index):
+    sizes = [Dims(m, m, m) for m, *_ in rows]
+    flops = [ITERATIONS * flops_for(d) for d in sizes]
+    cpu = [f / r[1] for f, r in zip(flops, rows)]
+    gpu = [f / r[gpu_index] for f, r in zip(flops, rows)]
+    return find_offload_threshold(sizes, cpu, gpu)
+
+
+def test_ext_pipelined_transfer_always(benchmark):
+    data = run_once(benchmark, _experiment)
+
+    print(f"\nTransfer-Always, serial vs double-buffered "
+          f"({ITERATIONS} iterations, square SGEMM):")
+    csv_rows = [["system", "serial_threshold", "pipelined_threshold",
+                 "max_speedup"]]
+    for system in SYSTEMS:
+        rows = data[system]
+        serial_thr = _threshold(rows, 2)
+        piped_thr = _threshold(rows, 3)
+        speedups = [serial / piped for _, _, serial, piped in rows]
+        best = max(speedups)
+        s_cell = str(serial_thr.dims.m) if serial_thr.found else "—"
+        p_cell = str(piped_thr.dims.m) if piped_thr.found else "—"
+        print(f"  {system:12s} threshold {s_cell:>5s} -> {p_cell:>5s}   "
+              f"max overlap speedup {best:.2f}x")
+        csv_rows.append([system, s_cell, p_cell, f"{best:.3f}"])
+    write_csv_rows("ext_pipeline", "pipelined_always.csv", csv_rows)
+
+    for system in SYSTEMS:
+        rows = data[system]
+        # Overlap never loses, and buys a real factor somewhere.
+        assert all(piped <= serial * (1 + 1e-9)
+                   for _, _, serial, piped in rows)
+        assert max(serial / piped for _, _, serial, piped in rows) > 1.3
+
+        # The pipelined threshold is never above the serial one.
+        serial_thr = _threshold(rows, 2)
+        piped_thr = _threshold(rows, 3)
+        s = serial_thr.dims.m if serial_thr.found else 10**9
+        p = piped_thr.dims.m if piped_thr.found else 10**9
+        assert p <= s

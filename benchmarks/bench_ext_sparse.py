@@ -1,0 +1,120 @@
+"""Extension — sparse SpMV offload thresholds (paper future work, §V).
+
+The paper ends by asking which sparse problem subset to benchmark; this
+harness sweeps the two axes the sparse literature always needs: matrix
+size at fixed density, and required data re-use per (system, pattern).
+It also validates the three real SpMV kernel implementations against
+each other, GPU-BLOB checksum style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import SYSTEMS, run_once, write_csv_rows
+from repro.core.checksum import checksum, checksums_match
+from repro.sparse import (
+    BANDED,
+    RANDOM,
+    SparseNodeModel,
+    SpmvProblem,
+    make_spmv_operands,
+    random_csr,
+    spmv_coo,
+    spmv_csr,
+    spmv_ell,
+)
+from repro.systems.catalog import make_model
+from repro.types import TransferType
+
+DENSITIES = (0.001, 0.01, 0.05)
+ITERS = (1, 32, 512)
+
+
+def _experiment():
+    size_thresholds = {}
+    reuse_thresholds = {}
+    for system in SYSTEMS:
+        sparse = SparseNodeModel(make_model(system))
+        for density in DENSITIES:
+            for iters in ITERS:
+                r = sparse.size_threshold(density, iters)
+                size_thresholds[(system, density, iters)] = (
+                    r.dims.m if r.found else None
+                )
+        for pattern in (BANDED, RANDOM):
+            problem = SpmvProblem(n=16384, density=0.002, pattern=pattern)
+            reuse_thresholds[(system, pattern.name)] = (
+                sparse.reuse_threshold(problem)
+            )
+    return size_thresholds, reuse_thresholds
+
+
+def test_ext_sparse_offload(benchmark):
+    size_thresholds, reuse_thresholds = run_once(benchmark, _experiment)
+
+    print("\nSpMV size offload threshold (matrix dimension n), "
+          "random pattern, double precision:")
+    rows = [["system", "density", "i=1", "i=32", "i=512"]]
+    for system in SYSTEMS:
+        for density in DENSITIES:
+            cells = [
+                str(size_thresholds[(system, density, i)] or "—")
+                for i in ITERS
+            ]
+            print(f"  {system:12s} density={density:<6g} "
+                  + "  ".join(f"i={i}: {c:>6s}"
+                              for i, c in zip(ITERS, cells)))
+            rows.append([system, str(density)] + cells)
+    write_csv_rows("ext_sparse", "size_thresholds.csv", rows)
+
+    print("\nRe-use needed to offload a 16384^2, 0.2% dense SpMV:")
+    rows = [["system", "banded", "random"]]
+    for system in SYSTEMS:
+        b = reuse_thresholds[(system, "banded")]
+        r = reuse_thresholds[(system, "random")]
+        print(f"  {system:12s} banded={b or '—'}  random={r or '—'}")
+        rows.append([system, str(b or "—"), str(r or "—")])
+    write_csv_rows("ext_sparse", "reuse_thresholds.csv", rows)
+
+    # DAWN (parallel CPU, PCIe): one pass never offloads, re-use can.
+    for density in DENSITIES:
+        assert size_thresholds[("dawn", density, 1)] is None
+    assert size_thresholds[("dawn", 0.05, 512)] is not None
+
+    # LUMI: the serial-GEMV pathology makes even one-pass SpMV offloadable
+    # at scale.
+    assert size_thresholds[("lumi", 0.01, 1)] is not None
+
+    # Isambard: thresholds exist with re-use and never exceed DAWN's.
+    for density in DENSITIES:
+        isam = size_thresholds[("isambard-ai", density, 512)]
+        dawn = size_thresholds[("dawn", density, 512)]
+        assert isam is not None
+        if dawn is not None:
+            assert isam <= dawn
+
+
+def test_ext_sparse_kernel_validation(benchmark):
+    """Three independent SpMV implementations agree within 0.1%."""
+
+    def build():
+        results = []
+        for seed in (1, 2, 3):
+            a = random_csr(256, 256, 0.05, seed=seed)
+            x, y = make_spmv_operands(a, seed=seed)
+            csr = checksum(spmv_csr(a, x, y.copy()))
+            coo = checksum(spmv_coo(a.to_coo(), x, y.copy()))
+            ell = checksum(spmv_ell(a.to_ell(), x, y.copy()))
+            dense = checksum(a.to_dense() @ x)
+            results.append((seed, csr, coo, ell, dense))
+        return results
+
+    results = run_once(benchmark, build)
+    rows = [["seed", "csr", "coo", "ell", "dense"]]
+    for seed, csr, coo, ell, dense in results:
+        rows.append([str(seed)] + [repr(v) for v in (csr, coo, ell, dense)])
+        for other in (coo, ell, dense):
+            assert checksums_match(csr, other)
+    write_csv_rows("ext_sparse", "kernel_checksums.csv", rows)
+    assert np.isfinite([r[1] for r in results]).all()

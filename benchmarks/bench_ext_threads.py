@@ -1,0 +1,74 @@
+"""Extension — thread-count sensitivity of the offload threshold.
+
+The paper pins one full socket per system (OMP_NUM_THREADS=48/56/72,
+§IV), noting that BLAS is typically not solved across sockets.  This
+study asks the inverse question: how does *under*-provisioning the CPU
+move the offload threshold?  Fewer threads weaken the CPU, pulling the
+threshold down — quantifying how much of each system's threshold is
+bought by its thread count.
+"""
+
+from __future__ import annotations
+
+from harness import run_once, write_csv_rows
+from repro.backends.simulated import AnalyticBackend
+from repro.core.config import RunConfig
+from repro.core.runner import run_sweep
+from repro.core.threshold import threshold_for_series
+from repro.systems.catalog import make_model
+from repro.types import Kernel, Precision, TransferType
+
+THREADS = {"dawn": (1, 8, 24, 48), "isambard-ai": (1, 8, 36, 72)}
+ITERATIONS = 8
+
+
+def _threshold_for(system: str, threads: int):
+    model = make_model(system, cpu_threads=threads)
+    cfg = RunConfig(min_dim=1, max_dim=4096, iterations=ITERATIONS, step=8,
+                    precisions=(Precision.SINGLE,), kernels=(Kernel.GEMM,),
+                    problem_idents=("square",))
+    run = run_sweep(AnalyticBackend(model), cfg)
+    series = run.series_for(Kernel.GEMM, "square", Precision.SINGLE)
+    return threshold_for_series(series, TransferType.ONCE)
+
+
+def _experiment():
+    return {
+        (system, threads): _threshold_for(system, threads)
+        for system, counts in THREADS.items()
+        for threads in counts
+    }
+
+
+def test_ext_thread_count_sensitivity(benchmark):
+    thresholds = run_once(benchmark, _experiment)
+
+    print(f"\nSquare SGEMM Transfer-Once threshold vs CPU thread count "
+          f"({ITERATIONS} iterations):")
+    rows = [["system", "threads", "threshold"]]
+    for (system, threads), result in thresholds.items():
+        cell = str(result.dims.m) if result.found else "—"
+        print(f"  {system:12s} {threads:3d} threads -> {cell}")
+        rows.append([system, str(threads), cell])
+    write_csv_rows("ext_threads", "threshold_vs_threads.csv", rows)
+
+    def series(system):
+        return [
+            thresholds[(system, t)].dims.m
+            if thresholds[(system, t)].found else 0
+            for t in THREADS[system]
+        ]
+
+    # DAWN (oneMKL scales threads with size): more threads -> stronger
+    # CPU -> monotonically higher threshold, 4x+ from 1 to 48 threads.
+    dawn = series("dawn")
+    assert all(a <= b + 8 for a, b in zip(dawn, dawn[1:])), dawn
+    assert dawn[-1] > 4 * dawn[0]
+
+    # Isambard (NVPL wakes every thread at every size): the threshold
+    # *falls* as threads are added — each extra thread makes the CPU
+    # worse exactly where the threshold lives, the Fig. 3 pathology
+    # measured through a different lens.
+    isam = series("isambard-ai")
+    assert all(a >= b for a, b in zip(isam, isam[1:])), isam
+    assert isam[0] > isam[-1]

@@ -1,0 +1,45 @@
+"""Fig. 2 — square SGEMM performance (1 iteration) on DAWN.
+
+Regenerates the CPU and GPU (three transfer types) GFLOP/s curves and
+checks the feature the paper highlights: a sharp CPU performance drop at
+{629, 629, 629} that is gradually recovered from — without which the
+1-iteration offload thresholds "would have likely been much higher".
+"""
+
+from __future__ import annotations
+
+from harness import run_once, sweep, write_csv_rows, write_text
+from repro.analysis.graphs import ascii_plot, cpu_curve, performance_curves
+from repro.types import Kernel, Precision
+
+
+def test_fig2_dawn_sgemm_curves(benchmark):
+    def build():
+        run = sweep("dawn", 1, problem_idents=("square",),
+                    kernels=(Kernel.GEMM,), step=4)
+        return run.series_for(Kernel.GEMM, "square", Precision.SINGLE)
+
+    series = run_once(benchmark, build)
+    curves = performance_curves(series, title="Fig. 2: DAWN square SGEMM, 1 iteration")
+    write_csv_rows("fig2", "dawn_sgemm_1iter.csv", curves.to_csv_rows())
+    plot = ascii_plot(curves)
+    write_text("fig2", "dawn_sgemm_1iter.txt", plot)
+    print("\n" + plot)
+
+    cpu = cpu_curve(series)
+    by_size = dict(zip(cpu.sizes, cpu.gflops))
+
+    def at(size: int) -> float:
+        key = min(by_size, key=lambda s: abs(s - size))
+        return by_size[key]
+
+    # The 629 cliff: performance halves overnight...
+    assert at(629) < 0.55 * at(625)
+    # ...and recovers gradually (monotone improvement through the dip).
+    assert at(629) < at(900) < at(1400)
+    # Before the drop the CPU beats every GPU transfer type.
+    for transfer_curve in curves.curves[1:]:
+        gpu_at_500 = dict(zip(transfer_curve.sizes,
+                              transfer_curve.gflops))
+        key = min(gpu_at_500, key=lambda s: abs(s - 500))
+        assert gpu_at_500[key] < at(500)

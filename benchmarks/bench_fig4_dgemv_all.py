@@ -1,0 +1,63 @@
+"""Fig. 4 — square DGEMV performance (1 iteration) on all three systems.
+
+The paper's point: at one iteration no system produces an offload
+threshold, *but* on DAWN and Isambard-AI a CPU performance drop opens a
+considerable mid-range window where the GPU wins anyway — while on LUMI
+the CPU leads everywhere by a healthy (narrowing) margin.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, sweep, write_csv_rows, write_text
+from repro.analysis.compare import gpu_win_windows
+from repro.analysis.graphs import ascii_plot, performance_curves
+from repro.core.threshold import threshold_for_series
+from repro.types import Kernel, Precision, TransferType
+
+
+def test_fig4_square_dgemv_one_iteration(benchmark):
+    def build():
+        out = {}
+        for system in SYSTEMS:
+            run = sweep(system, 1, problem_idents=("square",),
+                        kernels=(Kernel.GEMV,))
+            out[system] = run.series_for(Kernel.GEMV, "square",
+                                         Precision.DOUBLE)
+        return out
+
+    series_by_system = run_once(benchmark, build)
+
+    for system, series in series_by_system.items():
+        curves = performance_curves(
+            series, title=f"Fig. 4: {system} square DGEMV, 1 iteration"
+        )
+        write_csv_rows("fig4", f"{system}_dgemv_1iter.csv",
+                       curves.to_csv_rows())
+        print("\n" + ascii_plot(curves))
+
+        # No offload threshold anywhere at one iteration.
+        for transfer in series.transfer_types():
+            assert not threshold_for_series(series, transfer).found, \
+                (system, transfer)
+
+    windows_report = []
+    for system, series in series_by_system.items():
+        windows = gpu_win_windows(series, TransferType.ONCE)
+        windows_report.append(
+            f"{system}: " + (", ".join(f"{lo}..{hi}" for lo, hi in windows)
+                             or "no GPU win window")
+        )
+    text = "\n".join(windows_report)
+    write_text("fig4", "gpu_win_windows.txt", text)
+    print("\nGPU win windows (Transfer-Once):\n" + text)
+
+    # DAWN and Isambard: a substantial mid-range GPU window exists.
+    for system in ("dawn", "isambard-ai"):
+        windows = gpu_win_windows(series_by_system[system],
+                                  TransferType.ONCE)
+        assert windows, system
+        lo, hi = max(windows, key=lambda w: w[1].m - w[0].m)
+        assert hi.m - lo.m > 200, (system, lo, hi)
+
+    # LUMI: the CPU wins everywhere.
+    assert not gpu_win_windows(series_by_system["lumi"], TransferType.ONCE)

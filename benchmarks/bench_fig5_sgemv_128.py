@@ -1,0 +1,54 @@
+"""Fig. 5 — square SGEMV performance (128 iterations), Isambard vs DAWN.
+
+The paper contrasts Isambard's *steep* Transfer-Once/USM curves (the
+GH200's NVLink-C2C feeds memory-bound kernels well) with DAWN's shallow,
+slowly-rising GPU curves — which is why Isambard's GEMV threshold sits at
+~256 while DAWN's is pinned near the top of the sweep.
+"""
+
+from __future__ import annotations
+
+from harness import run_once, sweep, write_csv_rows
+from repro.analysis.graphs import ascii_plot, gpu_curve, performance_curves
+from repro.core.threshold import threshold_for_series
+from repro.types import Kernel, Precision, TransferType
+
+
+def test_fig5_square_sgemv_128_iterations(benchmark):
+    def build():
+        out = {}
+        for system in ("isambard-ai", "dawn"):
+            run = sweep(system, 128, problem_idents=("square",),
+                        kernels=(Kernel.GEMV,))
+            out[system] = run.series_for(Kernel.GEMV, "square",
+                                         Precision.SINGLE)
+        return out
+
+    series_by_system = run_once(benchmark, build)
+
+    for system, series in series_by_system.items():
+        curves = performance_curves(
+            series, title=f"Fig. 5: {system} square SGEMV, 128 iterations"
+        )
+        write_csv_rows("fig5", f"{system}_sgemv_128iter.csv",
+                       curves.to_csv_rows())
+        print("\n" + ascii_plot(curves))
+
+    isam = series_by_system["isambard-ai"]
+    dawn = series_by_system["dawn"]
+
+    # Steep vs shallow: at the top of the sweep Isambard's Transfer-Once
+    # GEMV throughput towers over DAWN's (HBM3 behind NVLink-C2C vs a
+    # PCIe-fed tile).
+    def top(series):
+        curve = gpu_curve(series, TransferType.ONCE)
+        return curve.gflops[-1]
+
+    assert top(isam) > 2.0 * top(dawn)
+
+    # Threshold contrast: Isambard near the 256 NVPL drop; DAWN near the
+    # LLC boundary (~4089).
+    r_isam = threshold_for_series(isam, TransferType.ONCE)
+    r_dawn = threshold_for_series(dawn, TransferType.ONCE)
+    assert r_isam.found and r_isam.dims.m <= 320
+    assert r_dawn.found and r_dawn.dims.m > 2800

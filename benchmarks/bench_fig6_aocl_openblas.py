@@ -1,0 +1,59 @@
+"""Fig. 6 — AOCL vs OpenBLAS square DGEMV CPU performance on LUMI.
+
+The paper discovered (via ``perf stat``: 0.89 CPUs used) that AOCL does
+not parallelize GEMV; switching to OpenBLAS with 56 threads brings a
+large improvement at mid/large sizes — despite poorer small-size
+performance — and eliminates every GEMV offload threshold on LUMI.
+"""
+
+from __future__ import annotations
+
+from harness import run_once, sweep, write_csv_rows
+from repro.analysis.graphs import CurveSet, ascii_plot, cpu_curve
+from repro.core.threshold import threshold_for_series
+from repro.types import Kernel, Precision, TransferType
+
+ITERATIONS = 128
+
+
+def test_fig6_aocl_vs_openblas_dgemv(benchmark):
+    def build():
+        aocl_run = sweep("lumi", ITERATIONS, problem_idents=("square",),
+                         kernels=(Kernel.GEMV,))
+        openblas_run = sweep("lumi", ITERATIONS, problem_idents=("square",),
+                             kernels=(Kernel.GEMV,), cpu_library="openblas")
+        return (
+            aocl_run.series_for(Kernel.GEMV, "square", Precision.DOUBLE),
+            openblas_run.series_for(Kernel.GEMV, "square", Precision.DOUBLE),
+        )
+
+    aocl_series, openblas_series = run_once(benchmark, build)
+
+    aocl = cpu_curve(aocl_series, label="AOCL 4.1 (serial GEMV)")
+    openblas = cpu_curve(openblas_series, label="OpenBLAS 0.3.24 (56 threads)")
+    cs = CurveSet(
+        title=f"Fig. 6: LUMI square DGEMV CPU, {ITERATIONS} iterations",
+        curves=[aocl, openblas],
+    )
+    write_csv_rows("fig6", "lumi_dgemv_cpu_libraries.csv", cs.to_csv_rows())
+    print("\n" + ascii_plot(cs))
+
+    table_a = dict(zip(aocl.sizes, aocl.gflops))
+    table_o = dict(zip(openblas.sizes, openblas.gflops))
+
+    def at(table, size):
+        return table[min(table, key=lambda s: abs(s - size))]
+
+    # Mid/large sizes: OpenBLAS far ahead (the parallelization win).
+    for size in (1024, 2048, 4096):
+        assert at(table_o, size) > 3.0 * at(table_a, size), size
+
+    # Small sizes: OpenBLAS is *poorer*, as the paper notes.
+    assert at(table_o, 33) < at(table_a, 33)
+
+    # With OpenBLAS, no GEMV offload threshold for any transfer type.
+    for transfer in openblas_series.transfer_types():
+        assert not threshold_for_series(openblas_series, transfer).found
+
+    # With AOCL, the Transfer-Once threshold exists at 128 iterations.
+    assert threshold_for_series(aocl_series, TransferType.ONCE).found

@@ -1,0 +1,62 @@
+"""Fig. 7 (Appendix A) — implicit vs explicit scaling on DAWN's GPU.
+
+The Max 1550 has two tiles; implicit scaling (treating the GPU as one
+device) "yields much lower and less-consistent performance than explicit
+scaling, despite having twice the compute resources" — the reason the
+paper pins GPU-BLOB to a single tile.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from harness import run_once, sweep, write_csv_rows
+from repro.analysis.graphs import CurveSet, ascii_plot, gpu_curve
+from repro.types import Kernel, Precision, TransferType
+
+ITERATIONS = 32
+
+
+def test_fig7_implicit_vs_explicit_scaling(benchmark):
+    def build():
+        explicit_run = sweep("dawn", ITERATIONS, problem_idents=("square",),
+                             kernels=(Kernel.GEMM,))
+        implicit_run = sweep("dawn", ITERATIONS, problem_idents=("square",),
+                             kernels=(Kernel.GEMM,),
+                             gpu_library="onemkl-gpu-implicit")
+        return (
+            explicit_run.series_for(Kernel.GEMM, "square", Precision.SINGLE),
+            implicit_run.series_for(Kernel.GEMM, "square", Precision.SINGLE),
+        )
+
+    explicit_series, implicit_series = run_once(benchmark, build)
+
+    explicit = gpu_curve(explicit_series, TransferType.ONCE,
+                         label="Explicit scaling (single tile)")
+    implicit = gpu_curve(implicit_series, TransferType.ONCE,
+                         label="Implicit scaling (whole GPU)")
+    cs = CurveSet(
+        title=f"Fig. 7: DAWN SGEMM GPU scaling modes, {ITERATIONS} iterations",
+        curves=[explicit, implicit],
+    )
+    write_csv_rows("fig7", "dawn_scaling_modes.csv", cs.to_csv_rows())
+    print("\n" + ascii_plot(cs))
+
+    # Consider the established regime (mid/large sizes).
+    pairs = [
+        (e, i)
+        for s, e, i in zip(explicit.sizes, explicit.gflops, implicit.gflops)
+        if s >= 512
+    ]
+    explicit_vals = [e for e, _ in pairs]
+    implicit_vals = [i for _, i in pairs]
+
+    # Lower: implicit scaling loses on average.
+    assert statistics.mean(implicit_vals) < 0.8 * statistics.mean(explicit_vals)
+
+    # Less consistent: point-to-point relative variation is much larger.
+    def roughness(values):
+        ratios = [abs(b - a) / a for a, b in zip(values, values[1:])]
+        return statistics.mean(ratios)
+
+    assert roughness(implicit_vals) > 3.0 * roughness(explicit_vals)

@@ -1,0 +1,69 @@
+"""Table III — square GEMM (M=N=K) GPU offload thresholds.
+
+Regenerates the paper's per-system table: rows are iteration counts
+{1, 8, 32, 64, 128}, columns Transfer-Once / Transfer-Always / USM, cells
+``SGEMM : DGEMM`` threshold dimensions.  Checks the headline structure:
+Isambard near {26}, DAWN near the oneMKL 629 cliff at one iteration,
+LUMI's Transfer-Once collapse under data re-use, and Transfer-Always
+thresholds rising with the iteration count.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, sweep_all_iterations, write_text
+from repro.core.tables import threshold_table_for_runs
+from repro.core.threshold import threshold_for_series
+from repro.types import Kernel, Precision, TransferType
+
+
+def _threshold(runs, i, precision, transfer):
+    series = runs[i].series_for(Kernel.GEMM, "square", precision)
+    return threshold_for_series(series, transfer)
+
+
+def test_table3_square_gemm(benchmark):
+    def build():
+        return {
+            system: sweep_all_iterations(system, problem_idents=("square",),
+                                         kernels=(Kernel.GEMM,))
+            for system in SYSTEMS
+        }
+
+    all_runs = run_once(benchmark, build)
+
+    report = []
+    for system in SYSTEMS:
+        table = threshold_table_for_runs(
+            all_runs[system], Kernel.GEMM, "square",
+            title=f"Table III ({system}): square GEMM thresholds, S : D",
+        )
+        print("\n" + table)
+        report.append(table)
+    write_text("table3", "square_gemm_thresholds.txt", "\n\n".join(report))
+
+    dawn, lumi, isam = (all_runs[s] for s in SYSTEMS)
+
+    # DAWN's 1-iteration threshold sits on the oneMKL 629 drop.
+    r = _threshold(dawn, 1, Precision.SINGLE, TransferType.ONCE)
+    assert r.found and 560 <= r.dims.m <= 700
+
+    # Isambard: very low thresholds at every iteration count.
+    for i in (1, 8, 32, 64, 128):
+        r = _threshold(isam, i, Precision.SINGLE, TransferType.ONCE)
+        assert r.found and r.dims.m <= 64
+
+    # LUMI Transfer-Once collapses to near-zero by 32+ iterations.
+    r = _threshold(lumi, 128, Precision.SINGLE, TransferType.ONCE)
+    assert r.found and r.dims.m <= 16
+
+    # Transfer-Always thresholds rise with iterations on DAWN and LUMI.
+    for runs in (dawn, lumi):
+        lo = _threshold(runs, 1, Precision.SINGLE, TransferType.ALWAYS)
+        hi = _threshold(runs, 128, Precision.SINGLE, TransferType.ALWAYS)
+        assert lo.found and hi.found and hi.dims.m > lo.dims.m
+
+    # LUMI USM consistently above Transfer-Once (page-migration heuristics).
+    for i in (8, 32, 128):
+        once = _threshold(lumi, i, Precision.SINGLE, TransferType.ONCE)
+        usm = _threshold(lumi, i, Precision.SINGLE, TransferType.UNIFIED)
+        assert usm.found and once.found and usm.dims.m > once.dims.m

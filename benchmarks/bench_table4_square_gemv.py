@@ -1,0 +1,71 @@
+"""Table IV — square GEMV (M=N) GPU offload thresholds.
+
+Headline structure: Transfer-Always never yields a threshold on any
+system; nothing yields at one iteration; DAWN's thresholds are high
+(~4089/~2900 — the LLC boundary) and near-static; Isambard pins to the
+NVPL ~{256, 256} drop; LUMI's thresholds fall as re-use grows.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, sweep_all_iterations, write_text
+from repro.core.tables import threshold_table_for_runs
+from repro.core.threshold import threshold_for_series
+from repro.types import (ALL_PRECISIONS, PAPER_ITERATION_COUNTS,
+                         Kernel, Precision, TransferType)
+
+
+def _threshold(runs, i, precision, transfer):
+    series = runs[i].series_for(Kernel.GEMV, "square", precision)
+    return threshold_for_series(series, transfer)
+
+
+def test_table4_square_gemv(benchmark):
+    def build():
+        return {
+            system: sweep_all_iterations(system, problem_idents=("square",),
+                                         kernels=(Kernel.GEMV,))
+            for system in SYSTEMS
+        }
+
+    all_runs = run_once(benchmark, build)
+
+    report = []
+    for system in SYSTEMS:
+        table = threshold_table_for_runs(
+            all_runs[system], Kernel.GEMV, "square",
+            title=f"Table IV ({system}): square GEMV thresholds, S : D",
+        )
+        print("\n" + table)
+        report.append(table)
+    write_text("table4", "square_gemv_thresholds.txt", "\n\n".join(report))
+
+    for system in SYSTEMS:
+        runs = all_runs[system]
+        # Transfer-Always: never, at any iteration count (paper §V).
+        for i in PAPER_ITERATION_COUNTS:
+            for precision in ALL_PRECISIONS:
+                assert not _threshold(runs, i, precision,
+                                      TransferType.ALWAYS).found
+        # Nothing at one iteration.
+        for transfer in (TransferType.ONCE, TransferType.UNIFIED):
+            for precision in ALL_PRECISIONS:
+                assert not _threshold(runs, 1, precision, transfer).found
+
+    dawn, lumi, isam = (all_runs[s] for s in SYSTEMS)
+
+    # DAWN: high, near-static thresholds; DGEMV below SGEMV (footnote 6).
+    s32 = _threshold(dawn, 32, Precision.SINGLE, TransferType.ONCE)
+    d32 = _threshold(dawn, 32, Precision.DOUBLE, TransferType.ONCE)
+    assert s32.found and s32.dims.m > 3300
+    assert d32.found and d32.dims.m < s32.dims.m
+
+    # Isambard: pinned near the NVPL {256, 256} drop, all re-use levels.
+    for i in (8, 32, 64, 128):
+        r = _threshold(isam, i, Precision.SINGLE, TransferType.ONCE)
+        assert r.found and 200 <= r.dims.m <= 320
+
+    # LUMI: decreasing with iteration count.
+    r8 = _threshold(lumi, 8, Precision.SINGLE, TransferType.ONCE)
+    r128 = _threshold(lumi, 128, Precision.SINGLE, TransferType.ONCE)
+    assert r8.found and r128.found and r128.dims.m < r8.dims.m

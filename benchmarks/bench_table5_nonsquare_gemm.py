@@ -1,0 +1,73 @@
+"""Table V — iteration count at which each non-square GEMM problem type
+first yields a Transfer-Once offload threshold.
+
+Headline structure: Isambard yields at one iteration for every type
+except {M=N, K=32}; on DAWN the fixed-32 types (lowest arithmetic
+intensity) never yield while the 16:1 ratio types yield at one
+iteration; LUMI needs more re-use than Isambard on most types.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, sweep_all_iterations, write_text
+from repro.core.problem import NONSQUARE_GEMM_TYPES
+from repro.core.tables import first_threshold_iteration, render_table
+from repro.types import ALL_PRECISIONS, Kernel, Precision
+
+IDENTS = tuple(pt.ident for pt in NONSQUARE_GEMM_TYPES)
+
+
+def test_table5_nonsquare_gemm(benchmark):
+    def build():
+        return {
+            system: sweep_all_iterations(system, problem_idents=IDENTS,
+                                         kernels=(Kernel.GEMM,))
+            for system in SYSTEMS
+        }
+
+    all_runs = run_once(benchmark, build)
+
+    first: dict[tuple[str, str, Precision], int | None] = {}
+    rows = []
+    for pt in NONSQUARE_GEMM_TYPES:
+        row = [pt.name]
+        for system in SYSTEMS:
+            cells = []
+            for precision in (Precision.SINGLE, Precision.DOUBLE):
+                it = first_threshold_iteration(
+                    all_runs[system], Kernel.GEMM, pt.ident, precision
+                )
+                first[(system, pt.ident, precision)] = it
+                cells.append("—" if it is None else str(it))
+            row.append(" : ".join(cells))
+        rows.append(row)
+    table = render_table(
+        ["Problem Type"] + list(SYSTEMS), rows,
+        title="Table V: first Transfer-Once threshold iteration (S : D)",
+    )
+    print("\n" + table)
+    write_text("table5", "nonsquare_gemm_first_threshold.txt", table)
+
+    # Isambard: one iteration everywhere except {M=N, K=32} (8 iters).
+    for pt in NONSQUARE_GEMM_TYPES:
+        expected = 8 if pt.ident == "mn_k32" else 1
+        for precision in ALL_PRECISIONS:
+            assert first[("isambard-ai", pt.ident, precision)] == expected, \
+                (pt.ident, precision)
+
+    # DAWN: fixed-32 problem types never produce a threshold.
+    for ident in ("mn32_k", "kn32_m", "mk32_n"):
+        for precision in ALL_PRECISIONS:
+            assert first[("dawn", ident, precision)] is None
+
+    # DAWN: the 16:1 ratio types yield with little or no re-use.
+    for ident in ("mn_k16m", "mn_m16k"):
+        assert first[("dawn", ident, Precision.DOUBLE)] == 1
+
+    # {M=N, K=16M} yields at one iteration on all three systems (§IV-C).
+    for system in SYSTEMS:
+        assert first[(system, "mn_k16m", Precision.DOUBLE)] == 1
+
+    # LUMI: every non-square type eventually yields a threshold.
+    for pt in NONSQUARE_GEMM_TYPES:
+        assert first[("lumi", pt.ident, Precision.SINGLE)] is not None

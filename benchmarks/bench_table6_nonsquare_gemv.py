@@ -1,0 +1,65 @@
+"""Table VI — iteration count at which each non-square GEMV problem type
+first yields a Transfer-Once offload threshold.
+
+Headline structure: DAWN never offloads any non-square GEMV; on LUMI the
+wide shapes (N considerably larger than M) never win while M=16N does
+with re-use; Isambard yields for every type at one iteration.
+"""
+
+from __future__ import annotations
+
+from harness import SYSTEMS, run_once, sweep_all_iterations, write_text
+from repro.core.problem import NONSQUARE_GEMV_TYPES
+from repro.core.tables import first_threshold_iteration, render_table
+from repro.types import ALL_PRECISIONS, Kernel, Precision
+
+IDENTS = tuple(pt.ident for pt in NONSQUARE_GEMV_TYPES)
+
+
+def test_table6_nonsquare_gemv(benchmark):
+    def build():
+        return {
+            system: sweep_all_iterations(system, problem_idents=IDENTS,
+                                         kernels=(Kernel.GEMV,))
+            for system in SYSTEMS
+        }
+
+    all_runs = run_once(benchmark, build)
+
+    first: dict[tuple[str, str, Precision], int | None] = {}
+    rows = []
+    for pt in NONSQUARE_GEMV_TYPES:
+        row = [pt.name]
+        for system in SYSTEMS:
+            cells = []
+            for precision in (Precision.SINGLE, Precision.DOUBLE):
+                it = first_threshold_iteration(
+                    all_runs[system], Kernel.GEMV, pt.ident, precision
+                )
+                first[(system, pt.ident, precision)] = it
+                cells.append("—" if it is None else str(it))
+            row.append(" : ".join(cells))
+        rows.append(row)
+    table = render_table(
+        ["Problem Type"] + list(SYSTEMS), rows,
+        title="Table VI: first Transfer-Once threshold iteration (S : D)",
+    )
+    print("\n" + table)
+    write_text("table6", "nonsquare_gemv_first_threshold.txt", table)
+
+    # DAWN: non-square GEMV is never worth offloading.
+    for pt in NONSQUARE_GEMV_TYPES:
+        for precision in ALL_PRECISIONS:
+            assert first[("dawn", pt.ident, precision)] is None
+
+    # Isambard: every type yields at one iteration.
+    for pt in NONSQUARE_GEMV_TYPES:
+        for precision in ALL_PRECISIONS:
+            assert first[("isambard-ai", pt.ident, precision)] == 1
+
+    # LUMI: tall M=16N yields with re-use; the widest shape (M=32, N>=1)
+    # never does.
+    assert first[("lumi", "m16n", Precision.SINGLE)] is not None
+    assert first[("lumi", "m32_n", Precision.SINGLE)] is None
+    assert first[("lumi", "m32_n", Precision.DOUBLE)] is None
+    assert first[("lumi", "n16m", Precision.SINGLE)] is None

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `harness` module importable from every bench file.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

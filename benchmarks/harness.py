@@ -1,0 +1,108 @@
+"""Shared helpers for the table/figure reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper: it
+sweeps the relevant simulated system(s) through the real GPU-BLOB runner,
+prints the same rows/series the paper reports, and writes the raw data
+under ``results/``.  ``pytest benchmarks/ --benchmark-only`` times each
+harness once (``pedantic`` with a single round — these are result
+generators, not microbenchmarks).
+
+Sweeps are strided (``STEP``) so the full suite runs in minutes; the
+threshold granularity this introduces is far smaller than the paper-vs-
+reproduction deltas recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.backends.simulated import AnalyticBackend
+from repro.core.config import RunConfig
+from repro.core.runner import RunResult, run_sweep
+from repro.systems.catalog import make_model
+from repro.types import PAPER_ITERATION_COUNTS
+
+#: Dimension sweep stride used by all benchmarks.
+STEP = 8
+#: The paper's dimension range (``-s 1 -d 4096``).
+MIN_DIM, MAX_DIM = 1, 4096
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+SYSTEMS = ("dawn", "lumi", "isambard-ai")
+
+_sweep_cache: dict[tuple, RunResult] = {}
+
+
+def sweep(
+    system: str,
+    iterations: int,
+    *,
+    problem_idents: tuple[str, ...],
+    kernels=None,
+    cpu_library: str | None = None,
+    gpu_library: str | None = None,
+    cpu_threads: int | None = None,
+    min_dim: int = MIN_DIM,
+    max_dim: int = MAX_DIM,
+    step: int = STEP,
+) -> RunResult:
+    """One cached GPU-BLOB sweep on a simulated system."""
+    key = (system, iterations, problem_idents, kernels, cpu_library,
+           gpu_library, cpu_threads, min_dim, max_dim, step)
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    model = make_model(
+        system,
+        cpu_library=cpu_library,
+        gpu_library=gpu_library,
+        cpu_threads=cpu_threads,
+    )
+    kwargs = {}
+    if kernels is not None:
+        kwargs["kernels"] = kernels
+    config = RunConfig(
+        min_dim=min_dim,
+        max_dim=max_dim,
+        iterations=iterations,
+        step=step,
+        problem_idents=problem_idents,
+        **kwargs,
+    )
+    result = run_sweep(AnalyticBackend(model), config, system_name=system)
+    _sweep_cache[key] = result
+    return result
+
+
+def sweep_all_iterations(
+    system: str, *, problem_idents: tuple[str, ...], kernels=None, **kwargs
+) -> dict[int, RunResult]:
+    """Paper-style: one sweep per iteration count in {1, 8, 32, 64, 128}."""
+    return {
+        i: sweep(system, i, problem_idents=problem_idents, kernels=kernels,
+                 **kwargs)
+        for i in PAPER_ITERATION_COUNTS
+    }
+
+
+def results_dir(experiment: str) -> Path:
+    out = RESULTS_DIR / experiment
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def write_text(experiment: str, name: str, content: str) -> Path:
+    path = results_dir(experiment) / name
+    path.write_text(content if content.endswith("\n") else content + "\n")
+    return path
+
+
+def write_csv_rows(experiment: str, name: str, rows) -> Path:
+    return write_text(
+        experiment, name, "\n".join(",".join(row) for row in rows)
+    )
+
+
+def run_once(benchmark, fn):
+    """Time a result-generating harness exactly once and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Offload advisor: should *your* application's BLAS go to the GPU?
+
+The paper's intended use of the offload threshold (§III-D): relate an
+application's matrix shapes to GPU-BLOB's problem types, approximate its
+BLAS call count with the iteration parameter, match its data-movement
+pattern to a transfer paradigm — and read off whether porting to the GPU
+is worth the effort, per target system.
+
+Two workloads from the paper's motivation are analysed:
+
+* **K-means clustering** (Dhillon et al., cited in §III-C): the distance
+  computation is a GEMM with M = samples, N = centroids, K = features —
+  strongly non-square — re-run every Lloyd iteration on data that stays
+  resident (Transfer-Once-like).
+* **MLP inference layers** (the AI workloads of §I): a chain of GEMMs
+  with M = batch size, N/K = layer widths, executed once per request
+  batch with activations bouncing to the host between service steps
+  (Transfer-Always-like).
+
+Run:  python examples/offload_advisor.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import Dims, Precision, TransferType, make_model, system_names
+from repro.core.flops import arithmetic_intensity
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    dims: Dims
+    precision: Precision
+    iterations: int
+    transfer: TransferType
+    rationale: str
+
+
+WORKLOADS = (
+    Workload(
+        name="K-means assignment step (1M points, 64 clusters, 128 features)",
+        dims=Dims(m=100_000, n=64, k=128),
+        precision=Precision.SINGLE,
+        iterations=50,  # Lloyd iterations over resident data
+        transfer=TransferType.ONCE,
+        rationale="points stay resident across iterations -> Transfer-Once",
+    ),
+    Workload(
+        name="MLP hidden layer (batch 32, 4096 -> 4096)",
+        dims=Dims(m=32, n=4096, k=4096),
+        precision=Precision.SINGLE,
+        iterations=1,  # one call per request batch, host round-trips
+        transfer=TransferType.ALWAYS,
+        rationale="activations return to the host every step -> Transfer-Always",
+    ),
+    Workload(
+        name="MLP hidden layer (batch 2048, 4096 -> 4096)",
+        dims=Dims(m=2048, n=4096, k=4096),
+        precision=Precision.SINGLE,
+        iterations=1,
+        transfer=TransferType.ALWAYS,
+        rationale="large training-style batch, still host round-trips",
+    ),
+    Workload(
+        name="Iterative solver GEMV (square A, 3000x3000, 200 iterations)",
+        dims=Dims(m=3000, n=3000),
+        precision=Precision.DOUBLE,
+        iterations=200,
+        transfer=TransferType.ONCE,
+        rationale="A factorised once, reused every solver iteration",
+    ),
+)
+
+
+def main() -> None:
+    for workload in WORKLOADS:
+        print(f"\n=== {workload.name}")
+        print(f"    shape {workload.dims}, {workload.precision.value} "
+              f"precision, {workload.iterations} calls, "
+              f"{workload.transfer.label} ({workload.rationale})")
+        ai = arithmetic_intensity(workload.dims, workload.precision)
+        print(f"    arithmetic intensity: {ai:.2f} FLOPs/byte")
+        for system in system_names():
+            model = make_model(system)
+            cpu_s = model.cpu_time(
+                workload.dims, workload.precision, workload.iterations
+            )
+            gpu_s = model.gpu_time(
+                workload.dims, workload.precision, workload.transfer,
+                workload.iterations,
+            )
+            speedup = cpu_s / gpu_s
+            verdict = (
+                f"OFFLOAD ({speedup:.1f}x faster on GPU)"
+                if speedup >= 1.1
+                else "stay on CPU"
+                if speedup <= 0.9
+                else "toss-up — profile both"
+            )
+            print(f"    {system:12s} cpu {cpu_s * 1e3:9.3f} ms | "
+                  f"gpu {gpu_s * 1e3:9.3f} ms | {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Side-by-side comparison of the paper's three HPC systems.
+
+Regenerates a compact version of Tables III and IV: square GEMM and GEMV
+offload thresholds across DAWN (discrete Intel), LUMI (discrete AMD) and
+Isambard-AI (GH200 SoC) — then explains each system's behaviour through
+the win windows and transfer-paradigm comparisons of §IV.
+
+Run:  python examples/system_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnalyticBackend,
+    Kernel,
+    Precision,
+    RunConfig,
+    TransferType,
+    make_model,
+    run_sweep,
+    system_names,
+)
+from repro.analysis.compare import compare_transfers, gpu_win_windows
+from repro.core.tables import threshold_table_for_runs
+
+ITERATION_COUNTS = (1, 8, 32)
+STEP = 8
+
+
+def sweep_system(system: str) -> dict[int, object]:
+    backend = AnalyticBackend(make_model(system))
+    runs = {}
+    for iterations in ITERATION_COUNTS:
+        config = RunConfig(min_dim=1, max_dim=4096, iterations=iterations,
+                           step=STEP, problem_idents=("square",))
+        runs[iterations] = run_sweep(backend, config, system_name=system)
+    return runs
+
+
+def main() -> None:
+    all_runs = {system: sweep_system(system) for system in system_names()}
+
+    for kernel, label in ((Kernel.GEMM, "square GEMM"),
+                          (Kernel.GEMV, "square GEMV")):
+        for system in system_names():
+            print(threshold_table_for_runs(
+                all_runs[system], kernel, "square",
+                title=f"\n{system}: {label} offload thresholds (S : D)",
+            ))
+
+    print("\n--- Where the GPU wins even without a threshold (GEMV, 1 iter)")
+    for system in system_names():
+        series = all_runs[system][1].series_for(
+            Kernel.GEMV, "square", Precision.DOUBLE
+        )
+        windows = gpu_win_windows(series, TransferType.ONCE)
+        desc = ", ".join(f"{lo}..{hi}" for lo, hi in windows) or "nowhere"
+        print(f"  {system:12s} GPU outperforms the CPU at: {desc}")
+
+    print("\n--- Transfer-paradigm ranking at M=N=K≈2048, 32 iterations")
+    for system in system_names():
+        series = all_runs[system][32].series_for(
+            Kernel.GEMM, "square", Precision.SINGLE
+        )
+        comparisons = compare_transfers(series)
+        near = min(comparisons, key=lambda c: abs(c.dims.m - 2048))
+        ranked = sorted(near.gflops, key=near.gflops.get, reverse=True)
+        print(f"  {system:12s} " + " > ".join(
+            f"{t.label} ({near.gflops[t]:,.0f} GF/s)" for t in ranked
+        ))
+
+
+if __name__ == "__main__":
+    main()
