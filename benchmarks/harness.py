@@ -48,8 +48,11 @@ def sweep(
     step: int = STEP,
 ) -> RunResult:
     """One cached GPU-BLOB sweep on a simulated system."""
-    key = (system, iterations, problem_idents, kernels, cpu_library,
-           gpu_library, cpu_threads, min_dim, max_dim, step)
+    # Several bench files pass ``kernels`` as a list; normalize so the
+    # cache key stays hashable.
+    kernels_key = tuple(kernels) if kernels is not None else None
+    key = (system, iterations, tuple(problem_idents), kernels_key,
+           cpu_library, gpu_library, cpu_threads, min_dim, max_dim, step)
     if key in _sweep_cache:
         return _sweep_cache[key]
     model = make_model(

@@ -89,8 +89,8 @@ def main() -> None:
                 workload.dims, workload.precision, workload.iterations
             )
             gpu_s = model.gpu_time(
-                workload.dims, workload.precision, workload.transfer,
-                workload.iterations,
+                workload.dims, workload.precision, workload.iterations,
+                workload.transfer,
             )
             speedup = cpu_s / gpu_s
             verdict = (

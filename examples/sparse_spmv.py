@@ -73,5 +73,10 @@ def solver_advisor() -> None:
 
 
 if __name__ == "__main__":
-    kernel_validation()
-    solver_advisor()
+    from repro.errors import DeferredFeatureError
+
+    try:
+        kernel_validation()
+        solver_advisor()
+    except DeferredFeatureError as exc:
+        print(f"sparse extension not available in this build: {exc}")

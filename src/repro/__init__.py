@@ -1,0 +1,83 @@
+"""GPU-BLOB reproduction engine.
+
+Analytic reproduction of "Assessing the GPU Offload Threshold of GEMM
+and GEMV Kernels on Modern Heterogeneous HPC Systems" (Wilkinson et al.,
+PMBS @ SC 2024).  The package models three heterogeneous nodes (DAWN,
+LUMI-G, Isambard-AI) in closed form, sweeps BLAS problem shapes over
+CPU and GPU under the paper's three transfer paradigms, and extracts the
+GPU offload threshold from the resulting curves.
+
+Typical use::
+
+    from repro import AnalyticBackend, RunConfig, make_model, run_sweep
+
+    backend = AnalyticBackend(make_model("isambard-ai"))
+    result = run_sweep(backend, RunConfig(max_dim=1024, iterations=8))
+    print(result.thresholds())
+"""
+
+from __future__ import annotations
+
+from .backends.host import CombinedBackend, HostCpuBackend
+from .backends.simulated import AnalyticBackend
+from .core.config import RunConfig
+from .core.runner import RunResult, run_sweep
+from .core.threshold import (
+    ThresholdResult,
+    find_offload_threshold,
+    threshold_for_series,
+)
+from .systems.catalog import (
+    get_system,
+    make_model,
+    register_system,
+    system_names,
+)
+from .systems.specs import (
+    CpuSocketSpec,
+    GpuSpec,
+    LinkSpec,
+    MatrixEngineSpec,
+    SystemSpec,
+    UsmSpec,
+)
+from .types import (
+    ALL_PRECISIONS,
+    PAPER_ITERATION_COUNTS,
+    DeviceKind,
+    Dims,
+    Kernel,
+    Precision,
+    TransferType,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PRECISIONS",
+    "AnalyticBackend",
+    "CombinedBackend",
+    "CpuSocketSpec",
+    "DeviceKind",
+    "Dims",
+    "GpuSpec",
+    "HostCpuBackend",
+    "Kernel",
+    "LinkSpec",
+    "MatrixEngineSpec",
+    "PAPER_ITERATION_COUNTS",
+    "Precision",
+    "RunConfig",
+    "RunResult",
+    "SystemSpec",
+    "ThresholdResult",
+    "TransferType",
+    "UsmSpec",
+    "find_offload_threshold",
+    "get_system",
+    "make_model",
+    "register_system",
+    "run_sweep",
+    "system_names",
+    "threshold_for_series",
+]

@@ -1,0 +1,1 @@
+"""Analysis layer: curves, windows, rooflines, energy, placement tools."""

@@ -1,0 +1,161 @@
+"""Batched-BLAS extension of the offload threshold (paper §V future work).
+
+Batching B small GEMMs into one call changes both sides of the race.  On
+the CPU the library loops over the batch behind a single dispatch, so
+the per-call overhead amortizes but the tiny kernels run at a derated
+rate (``batched_eff``) — strided batch layouts defeat the blocking
+heuristics tuned for one large matrix.  On the GPU a single batched
+launch fills the device with B×F FLOPs, so occupancy — the binding
+constraint for small sizes — improves with the batch width, while the
+host link still sees every byte of every batch member.
+
+Two questions fall out, mirroring the dimension threshold:
+
+* ``batch_offload_threshold`` — for a fixed (small) shape, the minimum
+  batch width from which the GPU wins, or ``None`` within the searched
+  range.
+* ``dimension_threshold_for_batch`` — for a fixed batch width, the
+  ordinary dimension threshold of the batched square sweep.
+
+No noise is applied: these are model-to-model comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.flops import d2h_bytes, flops_for, h2d_bytes, kernel_bytes
+from ..core.threshold import ThresholdResult, find_offload_threshold
+from ..sim.perfmodel import NodePerfModel
+from ..types import Dims, Precision
+
+__all__ = [
+    "batch_offload_threshold",
+    "batched_cpu_time",
+    "batched_gpu_time",
+    "dimension_threshold_for_batch",
+]
+
+#: Widest batch the minimum-batch search will try (inclusive).  Real
+#: batched APIs top out around here; beyond it the aggregate problem is
+#: no longer "small".
+MAX_BATCH = 4096
+
+#: Batched launches fill the device faster than B sequential launches of
+#: the same total FLOPs — the whole batch is resident in one grid.
+_BATCH_OCCUPANCY_BOOST = 4.0
+
+#: Warm-cache compute speedup shared with the non-batched CPU model.
+_WARM_COMPUTE_BOOST = 1.18
+
+
+def batched_cpu_time(
+    model: NodePerfModel,
+    dims: Dims,
+    batch: int,
+    precision: Precision,
+    iterations: int = 1,
+) -> float:
+    """Seconds for ``iterations`` passes of a B-wide batched kernel."""
+    cpu = model.cpu
+    lib = cpu.library
+    spec = model.spec.cpu
+    total_flops = batch * flops_for(dims)
+    total_bytes = batch * kernel_bytes(dims, precision)
+
+    peak = spec.peak_gflops(precision.itemsize) * 1e9
+    peak *= cpu.max_threads / spec.cores
+    # Narrow batches defeat both per-call amortization and cross-member
+    # operand packing — two compounding factors, so the ramp in batch
+    # width is quadratic.  ``batch_half == 0`` leaves the flat derate.
+    ramp = batch / (batch + lib.batch_half)
+    rate = peak * lib.batched_eff * ramp * ramp
+
+    working_set = total_bytes
+    warm = iterations > 1 and working_set <= spec.llc_bytes
+
+    def one_pass(first: bool) -> float:
+        compute = total_flops / rate
+        if not first and warm:
+            compute /= _WARM_COMPUTE_BOOST
+            memory = total_bytes / (spec.cache_bw_gbs * 1e9)
+        else:
+            memory = total_bytes / (spec.mem_bw_gbs * 1e9)
+        overhead = lib.overhead_s + lib.sync_per_thread_s * cpu.max_threads
+        return overhead + max(compute, memory)
+
+    return one_pass(True) + (iterations - 1) * one_pass(False)
+
+
+def batched_gpu_time(
+    model: NodePerfModel,
+    dims: Dims,
+    batch: int,
+    precision: Precision,
+    iterations: int = 1,
+) -> float:
+    """Transfer-Once seconds for a batched offload: ship all B operand
+    sets, run ``iterations`` batched launches, ship all B results back."""
+    gpu = model.gpu
+    lib = gpu.library
+    spec = model.spec.gpu
+    link = model.spec.link
+    total_flops = batch * flops_for(dims)
+    total_bytes = batch * kernel_bytes(dims, precision)
+
+    peak = spec.peak_gflops(precision.value) * 1e9
+    ramp = lib.occ_ramp_flops / _BATCH_OCCUPANCY_BOOST
+    occupancy = total_flops / (total_flops + ramp)
+    compute = total_flops / (peak * occupancy)
+    memory = total_bytes / (spec.mem_bw_gbs * 1e9 * lib.hbm_eff)
+    one_pass = 2.0 * lib.launch_s + max(compute, memory)
+
+    bw = link.bw_gbs * 1e9
+    up = link.latency_s + batch * h2d_bytes(dims, precision) / bw
+    down = link.latency_s + batch * d2h_bytes(dims, precision) / bw
+    return up + iterations * one_pass + down
+
+
+def batch_offload_threshold(
+    model: NodePerfModel,
+    dims: Dims,
+    precision: Precision,
+    iterations: int = 1,
+) -> Optional[int]:
+    """Minimum power-of-two batch width from which the batched GPU call
+    beats the batched CPU call, or ``None`` up to ``MAX_BATCH``."""
+    if not model.has_gpu:
+        return None
+    batch = 1
+    while batch <= MAX_BATCH:
+        cpu_s = batched_cpu_time(model, dims, batch, precision, iterations)
+        gpu_s = batched_gpu_time(model, dims, batch, precision, iterations)
+        if gpu_s < cpu_s:
+            return batch
+        batch *= 2
+    return None
+
+
+def dimension_threshold_for_batch(
+    model: NodePerfModel,
+    batch: int,
+    precision: Precision,
+    iterations: int = 1,
+    step: int = 2,
+    max_dim: int = 1024,
+) -> ThresholdResult:
+    """The ordinary dimension threshold, but every point is a B-wide
+    batched square GEMM."""
+    sizes = list(range(1, max_dim + 1, step))
+    if sizes[-1] != max_dim:
+        sizes.append(max_dim)
+    dims_list = [Dims(s, s, s) for s in sizes]
+    cpu = [
+        batched_cpu_time(model, d, batch, precision, iterations)
+        for d in dims_list
+    ]
+    gpu = [
+        batched_gpu_time(model, d, batch, precision, iterations)
+        for d in dims_list
+    ]
+    return find_offload_threshold(dims_list, cpu, gpu)

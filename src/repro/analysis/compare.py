@@ -1,0 +1,77 @@
+"""Series-level comparisons: GPU win windows and transfer rankings.
+
+The offload threshold deliberately ignores GPU wins that do not persist
+to the top of the sweep; ``gpu_win_windows`` reports them anyway — the
+paper's Fig. 4 observation that a *window* can exist (DAWN/Isambard
+square DGEMV) even when no threshold does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.records import ProblemSeries
+from ..types import Dims, TransferType
+
+__all__ = ["TransferComparison", "compare_transfers", "gpu_win_windows"]
+
+#: Ignore windows shorter than this many consecutive sizes — the same
+#: prev+current smoothing the threshold detector applies.
+_MIN_RUN = 2
+
+
+def gpu_win_windows(
+    series: ProblemSeries, transfer: TransferType
+) -> List[Tuple[Dims, Dims]]:
+    """Maximal [first, last] dim ranges where the GPU beats the CPU for
+    at least ``_MIN_RUN`` consecutive swept sizes."""
+    cpu = series.cpu_samples()
+    gpu = {s.dims: s for s in series.gpu_samples(transfer)}
+    windows: List[Tuple[Dims, Dims]] = []
+    run: List[Dims] = []
+    for c in cpu:
+        g = gpu.get(c.dims)
+        if g is not None and g.seconds < c.seconds:
+            run.append(c.dims)
+            continue
+        if len(run) >= _MIN_RUN:
+            windows.append((run[0], run[-1]))
+        run = []
+    if len(run) >= _MIN_RUN:
+        windows.append((run[0], run[-1]))
+    return windows
+
+
+@dataclass(frozen=True)
+class TransferComparison:
+    """GPU GFLOP/s by transfer paradigm at one swept size."""
+
+    dims: Dims
+    gflops: Dict[TransferType, float]
+
+    def best(self) -> TransferType:
+        return max(self.gflops, key=self.gflops.get)
+
+
+def compare_transfers(series: ProblemSeries) -> List[TransferComparison]:
+    """One comparison per size present under every swept paradigm."""
+    by_transfer = {
+        t: {s.dims: s for s in series.gpu_samples(t)}
+        for t in series.transfer_types()
+    }
+    if not by_transfer:
+        return []
+    common = None
+    for table in by_transfer.values():
+        keys = set(table)
+        common = keys if common is None else common & keys
+    out = []
+    for dims in sorted(common):
+        out.append(
+            TransferComparison(
+                dims=dims,
+                gflops={t: by_transfer[t][dims].gflops for t in by_transfer},
+            )
+        )
+    return out

@@ -1,0 +1,159 @@
+"""Energy offload thresholds (extension; Favaro et al. line of work).
+
+Device power is modelled as a constant draw while the device computes:
+``E_cpu = P_cpu * t_cpu`` and ``E_gpu = (P_gpu + P_host_idle) * t_gpu``
+(the host cannot power down while it drives the offload).  The *energy
+offload threshold* is then the threshold detector run over energy curves
+instead of time curves — on discrete systems whose GPU runs below the
+CPU's draw it arrives earlier than the runtime threshold (slower but
+greener); on the GH200, whose H100 side draws 450 W against a far
+leaner Grace socket, it arrives at or after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.flops import flops_for
+from ..core.threshold import ThresholdResult, find_offload_threshold
+from ..errors import UnknownSystemError
+from ..sim.perfmodel import NodePerfModel
+from ..types import Dims, Precision, TransferType
+
+__all__ = ["EnergyModel", "PowerProfile", "profile_for"]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Average active power draw (watts) per device while it computes."""
+
+    name: str
+    cpu_w: float
+    gpu_w: float
+    host_idle_w: float  # host draw while the GPU runs
+
+    @property
+    def gpu_total_w(self) -> float:
+        return self.gpu_w + self.host_idle_w
+
+
+_PROFILES = {
+    # Xeon Max 8468 socket vs one Max 1550 tile (half the 600 W OAM).
+    "dawn": PowerProfile("dawn", cpu_w=350.0, gpu_w=230.0, host_idle_w=50.0),
+    # EPYC 7A53 socket vs one MI250X GCD (half the 560 W module).
+    "lumi": PowerProfile("lumi", cpu_w=280.0, gpu_w=250.0, host_idle_w=30.0),
+    # Grace socket vs the H100 side of the GH200 superchip.
+    "isambard-ai": PowerProfile(
+        "isambard-ai", cpu_w=300.0, gpu_w=450.0, host_idle_w=25.0
+    ),
+}
+
+
+def profile_for(system: str) -> PowerProfile:
+    try:
+        return _PROFILES[system]
+    except KeyError:
+        raise UnknownSystemError(
+            f"no power profile for {system!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+class EnergyModel:
+    """Joules and energy thresholds on top of a node performance model."""
+
+    def __init__(self, model: NodePerfModel, profile: PowerProfile) -> None:
+        self.model = model
+        self.profile = profile
+
+    # -- energies -----------------------------------------------------
+    def cpu_energy(
+        self, dims: Dims, precision: Precision, iterations: int = 1
+    ) -> float:
+        return self.profile.cpu_w * self.model.cpu_time(
+            dims, precision, iterations
+        )
+
+    def gpu_energy(
+        self,
+        dims: Dims,
+        precision: Precision,
+        iterations: int = 1,
+        transfer: TransferType = TransferType.ONCE,
+    ) -> float:
+        return self.profile.gpu_total_w * self.model.gpu_time(
+            dims, precision, iterations, transfer
+        )
+
+    def energy_per_gflop(
+        self,
+        dims: Dims,
+        precision: Precision,
+        iterations: int = 1,
+        transfer: Optional[TransferType] = None,
+    ) -> float:
+        """J per GFLOP of useful work; ``transfer=None`` means the CPU."""
+        if transfer is None:
+            joules = self.cpu_energy(dims, precision, iterations)
+        else:
+            joules = self.gpu_energy(dims, precision, iterations, transfer)
+        gflops_done = iterations * flops_for(dims) / 1e9
+        return joules / gflops_done
+
+    # -- thresholds ---------------------------------------------------
+    def _sweep_dims(self, max_dim: int, step: int):
+        sizes = list(range(1, max_dim + 1, step))
+        if sizes[-1] != max_dim:
+            sizes.append(max_dim)
+        return [Dims(s, s, s) for s in sizes]
+
+    def _threshold(
+        self,
+        precision: Precision,
+        iterations: int,
+        transfer: TransferType,
+        metric: str,
+        max_dim: int,
+        step: int,
+    ) -> ThresholdResult:
+        dims_list = self._sweep_dims(max_dim, step)
+        if metric == "time":
+            cpu = [self.model.cpu_time(d, precision, iterations) for d in dims_list]
+            gpu = [
+                self.model.gpu_time(d, precision, iterations, transfer)
+                for d in dims_list
+            ]
+        else:
+            cpu = [self.cpu_energy(d, precision, iterations) for d in dims_list]
+            gpu = [
+                self.gpu_energy(d, precision, iterations, transfer)
+                for d in dims_list
+            ]
+        return find_offload_threshold(dims_list, cpu, gpu)
+
+    def time_offload_threshold(
+        self,
+        precision: Precision,
+        iterations: int = 1,
+        transfer: TransferType = TransferType.ONCE,
+        max_dim: int = 4096,
+        step: int = 8,
+    ) -> ThresholdResult:
+        """The paper's runtime threshold (square GEMM), for reference."""
+        return self._threshold(
+            precision, iterations, transfer, "time", max_dim, step
+        )
+
+    def energy_offload_threshold(
+        self,
+        precision: Precision,
+        iterations: int = 1,
+        transfer: TransferType = TransferType.ONCE,
+        max_dim: int = 4096,
+        step: int = 8,
+    ) -> ThresholdResult:
+        """Smallest square GEMM from which the GPU wins on joules for
+        every larger size."""
+        return self._threshold(
+            precision, iterations, transfer, "energy", max_dim, step
+        )

@@ -1,0 +1,101 @@
+"""Roofline views of a system spec (§IV-C's arithmetic-intensity lens).
+
+Three rooflines matter for the offload question: the CPU against its
+DRAM, the GPU against its HBM, and — decisive for no-re-use offloads —
+the GPU against the *host-device link*, whose ridge point sits orders of
+magnitude to the right of the HBM one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.flops import arithmetic_intensity
+from ..core.problem import ProblemType
+from ..systems.specs import SystemSpec
+from ..types import Precision
+
+__all__ = [
+    "ProblemPlacement",
+    "Roofline",
+    "classify_problems",
+    "cpu_roofline",
+    "gpu_roofline",
+    "transfer_roofline",
+]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    name: str
+    peak_gflops: float
+    bw_gbs: float
+
+    @property
+    def balance(self) -> float:
+        """Ridge point in FLOPs per byte."""
+        return self.peak_gflops / self.bw_gbs
+
+    def attainable_gflops(self, intensity: float) -> float:
+        return min(self.peak_gflops, intensity * self.bw_gbs)
+
+
+def cpu_roofline(spec: SystemSpec, precision: Precision) -> Roofline:
+    return Roofline(
+        name=f"{spec.cpu.name} vs DRAM",
+        peak_gflops=spec.cpu.peak_gflops(precision.itemsize),
+        bw_gbs=spec.cpu.mem_bw_gbs,
+    )
+
+
+def gpu_roofline(spec: SystemSpec, precision: Precision) -> Roofline:
+    if spec.gpu is None:
+        raise ValueError(f"system {spec.name!r} has no GPU")
+    return Roofline(
+        name=f"{spec.gpu.name} vs HBM",
+        peak_gflops=spec.gpu.peak_gflops(precision.value),
+        bw_gbs=spec.gpu.mem_bw_gbs,
+    )
+
+
+def transfer_roofline(spec: SystemSpec, precision: Precision) -> Roofline:
+    """The GPU's compute peak against the host-device link: the roof a
+    Transfer-Always (or single-pass Transfer-Once) offload lives under."""
+    if spec.gpu is None:
+        raise ValueError(f"system {spec.name!r} has no GPU")
+    return Roofline(
+        name=f"{spec.gpu.name} vs {spec.link.name}",
+        peak_gflops=spec.gpu.peak_gflops(precision.value),
+        bw_gbs=spec.link.bw_gbs,
+    )
+
+
+@dataclass(frozen=True)
+class ProblemPlacement:
+    problem_type: ProblemType
+    intensity: float
+    compute_bound: bool
+
+
+def classify_problems(
+    roofline: Roofline,
+    problem_types: List[ProblemType],
+    precision: Precision,
+    max_dim: int = 4096,
+) -> List[ProblemPlacement]:
+    """Each problem type at its largest in-range size: above or below
+    the roofline's ridge point?"""
+    out = []
+    for pt in problem_types:
+        params = pt.param_range(1, max_dim)
+        dims = pt.dims_at(params[-1])
+        intensity = arithmetic_intensity(dims, precision)
+        out.append(
+            ProblemPlacement(
+                problem_type=pt,
+                intensity=intensity,
+                compute_bound=intensity >= roofline.balance,
+            )
+        )
+    return out

@@ -1,0 +1,170 @@
+"""Application-trace replay under threshold-guided placement (§III-D).
+
+A trace is a sequence of BLAS phases — each a (dims, precision,
+iterations, transfer) cell.  The evaluator prices every phase on the CPU
+and on the GPU under the phase's transfer paradigm, then reports three
+ports: CPU-only, GPU-only, and the hybrid that keeps each phase wherever
+it is faster.  The hybrid can never lose to either all-or-nothing port,
+and the gap to GPU-only is exactly the cost of offloading phases below
+their threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..sim.perfmodel import NodePerfModel
+from ..types import DeviceKind, Dims, Precision, TransferType
+
+__all__ = [
+    "PhasePlacement",
+    "TraceEvaluator",
+    "TracePhase",
+    "TraceReport",
+    "implicit_solver_trace",
+    "kmeans_trace",
+    "mlp_training_trace",
+]
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One BLAS call site: its shape and how an offload would move data."""
+
+    name: str
+    dims: Dims
+    precision: Precision
+    iterations: int = 1
+    transfer: TransferType = TransferType.ONCE
+    repeats: int = 1
+
+
+@dataclass(frozen=True)
+class PhasePlacement:
+    phase: TracePhase
+    device: DeviceKind
+    cpu_s: float
+    gpu_s: float
+
+    @property
+    def hybrid_s(self) -> float:
+        return min(self.cpu_s, self.gpu_s)
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    system_name: str
+    placements: Tuple[PhasePlacement, ...]
+    cpu_only_s: float = field(init=False, default=0.0)
+    gpu_only_s: float = field(init=False, default=0.0)
+    hybrid_s: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cpu_only_s", sum(p.cpu_s for p in self.placements)
+        )
+        object.__setattr__(
+            self, "gpu_only_s", sum(p.gpu_s for p in self.placements)
+        )
+        object.__setattr__(
+            self, "hybrid_s", sum(p.hybrid_s for p in self.placements)
+        )
+
+    def offloaded_phases(self) -> List[str]:
+        return [
+            p.phase.name
+            for p in self.placements
+            if p.device is DeviceKind.GPU
+        ]
+
+    @property
+    def hybrid_speedup_vs_best_single(self) -> float:
+        best_single = min(self.cpu_only_s, self.gpu_only_s)
+        return best_single / self.hybrid_s if self.hybrid_s else math.inf
+
+
+class TraceEvaluator:
+    """Replays traces against one node's performance model."""
+
+    def __init__(self, model: NodePerfModel) -> None:
+        self.model = model
+
+    def evaluate(self, trace) -> TraceReport:
+        placements = []
+        for phase in trace:
+            cpu_s = phase.repeats * self.model.cpu_time(
+                phase.dims, phase.precision, phase.iterations
+            )
+            if self.model.has_gpu:
+                gpu_s = phase.repeats * self.model.gpu_time(
+                    phase.dims, phase.precision, phase.iterations,
+                    phase.transfer,
+                )
+            else:
+                gpu_s = math.inf
+            device = DeviceKind.GPU if gpu_s < cpu_s else DeviceKind.CPU
+            placements.append(
+                PhasePlacement(
+                    phase=phase, device=device, cpu_s=cpu_s, gpu_s=gpu_s
+                )
+            )
+        return TraceReport(
+            system_name=self.model.spec.name, placements=tuple(placements)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Canonical traces
+
+
+def mlp_training_trace() -> Tuple[TracePhase, ...]:
+    """One SGD epoch of a 784-1024-1024-10 MLP, batch 256: three layer
+    GEMMs iterated over 100 minibatches with weights resident."""
+    i = 100
+    return (
+        TracePhase("fc1", Dims(256, 1024, 784), Precision.SINGLE, i),
+        TracePhase("fc2", Dims(256, 1024, 1024), Precision.SINGLE, i),
+        TracePhase("logits", Dims(256, 10, 1024), Precision.SINGLE, i),
+    )
+
+
+def kmeans_trace() -> Tuple[TracePhase, ...]:
+    """Lloyd iterations on 384 points / 384 features / 384 centroids: a
+    distance GEMM with resident operands, then a centroid-update GEMV
+    whose assignment vector changes host-side every pass
+    (Transfer-Always).  The GEMM sits between LUMI's and DAWN's 8-iter
+    SGEMM thresholds, so placement genuinely differs across systems."""
+    return (
+        TracePhase(
+            "distances", Dims(384, 384, 384), Precision.SINGLE, iterations=8
+        ),
+        TracePhase(
+            "update",
+            Dims(384, 384),
+            Precision.SINGLE,
+            iterations=8,
+            transfer=TransferType.ALWAYS,
+        ),
+    )
+
+
+def implicit_solver_trace() -> Tuple[TracePhase, ...]:
+    """A Newton-Krylov step: Jacobian assembly GEMM, a Krylov loop of
+    resident matvecs, and a host-coupled preconditioner apply."""
+    return (
+        TracePhase(
+            "jacobian", Dims(1024, 1024, 1024), Precision.DOUBLE, iterations=4
+        ),
+        TracePhase(
+            "krylov-matvec", Dims(1024, 1024), Precision.DOUBLE, iterations=64
+        ),
+        TracePhase(
+            "precondition",
+            Dims(1024, 1024),
+            Precision.DOUBLE,
+            iterations=1,
+            transfer=TransferType.ALWAYS,
+        ),
+    )

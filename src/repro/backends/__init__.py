@@ -1,0 +1,14 @@
+"""Measurement backends: analytic simulation and real host execution."""
+
+from .base import Backend, PerfSample
+from .host import CombinedBackend, HostCpuBackend
+from .simulated import AnalyticBackend, DesBackend
+
+__all__ = [
+    "AnalyticBackend",
+    "Backend",
+    "CombinedBackend",
+    "DesBackend",
+    "HostCpuBackend",
+    "PerfSample",
+]

@@ -1,0 +1,53 @@
+"""Backend interface: anything that can time a BLAS problem.
+
+A backend produces one :class:`~repro.core.records.PerfSample` per
+(device, problem, iteration-count) query.  The analytic backend asks the
+performance model; the host backend runs the kernel for real.  The sweep
+runner (``repro.core.runner``) is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..core.records import PerfSample
+from ..types import Dims, Precision, TransferType
+
+__all__ = ["Backend", "PerfSample"]
+
+
+class Backend(ABC):
+    """Times problems on a CPU and, optionally, on a GPU."""
+
+    #: transfer types this backend can measure; empty means CPU-only
+    gpu_transfers: tuple = ()
+
+    @property
+    def has_gpu(self) -> bool:
+        return bool(self.gpu_transfers)
+
+    @abstractmethod
+    def cpu_sample(
+        self,
+        kernel,
+        dims: Dims,
+        precision: Precision,
+        iterations: int,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> PerfSample:
+        """Run/estimate ``iterations`` kernel calls on the CPU."""
+
+    def gpu_sample(
+        self,
+        kernel,
+        dims: Dims,
+        precision: Precision,
+        iterations: int,
+        transfer: TransferType,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> Optional[PerfSample]:
+        """Run/estimate on the GPU under ``transfer``; None if unsupported."""
+        return None

@@ -1,0 +1,63 @@
+"""Analytic backend: samples come from the closed-form performance model.
+
+This is the default backend of the repro engine — it evaluates
+:class:`repro.sim.perfmodel.NodePerfModel` instead of running kernels,
+so full paper-scale sweeps finish in seconds on any machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.records import PerfSample
+from ..errors import DeferredFeatureError
+from ..sim.perfmodel import NodePerfModel
+from ..types import DeviceKind, Dims, Precision, TransferType
+from .base import Backend
+
+__all__ = ["AnalyticBackend", "DesBackend"]
+
+
+class AnalyticBackend(Backend):
+    """Evaluates the analytic node model; checksums are vacuously OK."""
+
+    def __init__(self, model: NodePerfModel) -> None:
+        self.model = model
+        self.gpu_transfers = (
+            tuple(TransferType) if model.has_gpu else ()
+        )
+
+    @property
+    def system_name(self) -> str:
+        return self.model.spec.name
+
+    def cpu_sample(self, kernel, dims, precision, iterations,
+                   alpha=1.0, beta=0.0) -> PerfSample:
+        seconds = self.model.cpu_time(
+            dims, precision, iterations, alpha=alpha, beta=beta)
+        return PerfSample.from_seconds(
+            DeviceKind.CPU, None, dims, iterations, seconds,
+            checksum_ok=True, beta=beta)
+
+    def gpu_sample(self, kernel, dims, precision, iterations, transfer,
+                   alpha=1.0, beta=0.0) -> Optional[PerfSample]:
+        if not self.model.has_gpu:
+            return None
+        seconds = self.model.gpu_time(
+            dims, precision, iterations, transfer, alpha=alpha, beta=beta)
+        return PerfSample.from_seconds(
+            DeviceKind.GPU, transfer, dims, iterations, seconds,
+            checksum_ok=True, beta=beta)
+
+
+class DesBackend(Backend):
+    """Discrete-event-simulation backend — deferred with ``repro.sim.engine``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise DeferredFeatureError(
+            "the discrete-event backend is deferred; use AnalyticBackend "
+            "(repro.sim.engine carries the engine stub)"
+        )
+
+    def cpu_sample(self, *args, **kwargs):  # pragma: no cover - unreachable
+        raise DeferredFeatureError("the discrete-event backend is deferred")

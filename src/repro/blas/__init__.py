@@ -1,0 +1,31 @@
+"""BLAS layer: library behaviour models and real NumPy kernels."""
+
+from .registry import (
+    AOCL,
+    ARMPL,
+    CUBLAS,
+    NVPL,
+    ONEMKL,
+    ONEMKL_GPU,
+    OPENBLAS,
+    ROCBLAS,
+    CpuLibraryModel,
+    GpuLibraryModel,
+    get_cpu_library,
+    get_gpu_library,
+)
+
+__all__ = [
+    "AOCL",
+    "ARMPL",
+    "CUBLAS",
+    "CpuLibraryModel",
+    "GpuLibraryModel",
+    "NVPL",
+    "ONEMKL",
+    "ONEMKL_GPU",
+    "OPENBLAS",
+    "ROCBLAS",
+    "get_cpu_library",
+    "get_gpu_library",
+]

@@ -1,0 +1,43 @@
+"""A GotoBLAS-style blocked GEMM, independent of ``numpy_backend.gemm``.
+
+Used by the validation harness as the second, independently-implemented
+kernel of the paper's checksum cross-check.  Loops over (mc, nc, kc)
+panels and accumulates in float64 regardless of operand precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockingParams", "blocked_gemm"]
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    mc: int = 64
+    nc: int = 64
+    kc: int = 64
+
+
+def blocked_gemm(
+    m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+    blocking: BlockingParams = BlockingParams(),
+) -> None:
+    """C = alpha * A @ B + beta * C over cache-sized panels."""
+    A = a.reshape(k, lda)[:, :m].T.astype(np.float64)
+    B = b.reshape(n, ldb)[:, :k].T.astype(np.float64)
+    C = c.reshape(n, ldc)[:, :m].T
+    acc = np.zeros((m, n), dtype=np.float64)
+    for j0 in range(0, n, blocking.nc):
+        j1 = min(j0 + blocking.nc, n)
+        for p0 in range(0, k, blocking.kc):
+            p1 = min(p0 + blocking.kc, k)
+            for i0 in range(0, m, blocking.mc):
+                i1 = min(i0 + blocking.mc, m)
+                acc[i0:i1, j0:j1] += A[i0:i1, p0:p1] @ B[p0:p1, j0:j1]
+    result = alpha * acc
+    if beta != 0.0:
+        result += beta * C.astype(np.float64)
+    C[:, :] = result.astype(c.dtype)

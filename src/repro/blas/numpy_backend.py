@@ -1,0 +1,83 @@
+"""Real BLAS-style kernels on NumPy, column-major flat buffers.
+
+These implement the C BLAS calling convention GPU-BLOB uses (flat
+column-major arrays + leading dimensions) so the host backend times a
+genuine memory-layout-faithful execution, and implement the same
+``beta == 0`` fast path the paper measured in Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gemm",
+    "gemv",
+    "make_operands_gemm",
+    "make_operands_gemv",
+]
+
+_SEED = 12345  # constant-seed init, as in the benchmark
+
+
+def make_operands_gemm(m: int, n: int, k: int, dtype) -> tuple:
+    """Flat column-major A (m x k), B (k x n), C (m x n)."""
+    rng = np.random.default_rng(_SEED)
+    a = rng.uniform(-1.0, 1.0, size=m * k).astype(dtype)
+    b = rng.uniform(-1.0, 1.0, size=k * n).astype(dtype)
+    c = np.zeros(m * n, dtype=dtype)
+    return a, b, c
+
+
+def make_operands_gemv(m: int, n: int, dtype) -> tuple:
+    """Column-major A (m x n), x (n), y (m).
+
+    ``A`` is returned as a Fortran-ordered 2-D array so callers can use
+    it directly (``a @ x``) as well as pass it to :func:`gemv`.
+    """
+    rng = np.random.default_rng(_SEED)
+    a = np.asfortranarray(
+        rng.uniform(-1.0, 1.0, size=(m, n)).astype(dtype)
+    )
+    x = rng.uniform(-1.0, 1.0, size=n).astype(dtype)
+    y = np.zeros(m, dtype=dtype)
+    return a, x, y
+
+
+def _col_major(flat, rows: int, cols: int, ld: int):
+    """View a flat column-major buffer as a (rows x cols) matrix."""
+    return flat.reshape(cols, ld)[:, :rows].T
+
+
+def gemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc) -> None:
+    """C = alpha * A @ B + beta * C (column-major, in place).
+
+    ``beta == 0`` skips reading C entirely — the Table I fast path.
+    """
+    A = _col_major(a, m, k, lda)
+    B = _col_major(b, k, n, ldb)
+    C = _col_major(c, m, n, ldc)
+    product = A @ B
+    if alpha != 1.0:
+        product *= alpha
+    if beta == 0.0:
+        C[:, :] = product
+    else:
+        C[:, :] = product + beta * C
+
+
+def gemv(m, n, alpha, a, lda, x, incx, beta, y, incy) -> None:
+    """y = alpha * A @ x + beta * y (column-major, in place).
+
+    ``a`` may be a flat column-major buffer or an (m x n) 2-D array.
+    """
+    if incx != 1 or incy != 1:
+        raise ValueError("only unit strides are supported")
+    A = a[:m, :n] if a.ndim == 2 else _col_major(a, m, n, lda)
+    product = A @ x[:n]
+    if alpha != 1.0:
+        product *= alpha
+    if beta == 0.0:
+        y[:m] = product
+    else:
+        y[:m] = product + beta * y[:m]

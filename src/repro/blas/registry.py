@@ -1,0 +1,256 @@
+"""Calibrated behaviour models of the BLAS libraries the paper used.
+
+The paper's central observation is that the offload threshold is shaped
+as much by *library heuristics* as by silicon: NVPL wakes every thread
+for every call, AOCL refuses to parallelize GEMV, oneMKL falls off a
+cliff at {629, 629, 629}, rocBLAS carries a large GEMV launch cost.
+Each library model therefore carries the handful of constants the
+CPU/GPU timing models need, calibrated against the artifact's CSVs.
+
+Threading models
+----------------
+* ``"always-max"`` — every call synchronizes every thread (NVPL).
+* ``"scale-with-size"`` — threads engage with problem size: the engaged
+  count is ``ceil(flops / grain_flops)`` capped at the configured
+  maximum (oneMKL, ArmPL, AOCL, OpenBLAS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..errors import UnknownLibraryError
+
+__all__ = [
+    "AOCL",
+    "ARMPL",
+    "CPU_LIBRARIES",
+    "CUBLAS",
+    "CpuLibraryModel",
+    "GPU_LIBRARIES",
+    "GpuLibraryModel",
+    "NVPL",
+    "ONEMKL",
+    "ONEMKL_GPU",
+    "ONEMKL_GPU_IMPLICIT",
+    "OPENBLAS",
+    "ROCBLAS",
+    "get_cpu_library",
+    "get_gpu_library",
+]
+
+
+@dataclass(frozen=True)
+class CpuLibraryModel:
+    """Constants describing how a CPU BLAS library behaves.
+
+    ``out_half``/``k_half`` parameterize the saturating shape-efficiency
+    factors ``min(m,n)/(min(m,n)+out_half)`` and ``k/(k+k_half)``;
+    ``ramp_flops`` is the per-thread work at which parallel efficiency
+    reaches 50% with every thread engaged; ``eff_floor`` bounds that
+    efficiency from below (small calls are slow, not infinitely slow).
+    """
+
+    name: str
+    threading: str = "scale-with-size"  # or "always-max"
+    overhead_s: float = 1.0e-6
+    sync_per_thread_s: float = 20.0e-9
+    grain_flops: float = 24.0e3
+    ramp_flops: float = 260.0e3
+    eff_floor: float = 0.005
+    gemm_eff: float = 1.0
+    out_half: float = 40.0
+    k_half: float = 200.0
+    k_aspect_half: float = 8.0  # k >> min(m, n) re-streams operand panels
+    shape_floor: float = 0.0  # skinny GEMM degenerates to streaming, not to zero
+    gemv_parallel: bool = True
+    gemv_grain_rows: Optional[float] = None  # partition GEMV by longest dim
+    gemv_fanout: bool = False  # pay sync for *all* threads on every GEMV
+    gemv_overhead_s: float = 1.5e-6
+    gemv_grain_bytes: float = 256.0e3
+    batched_eff: float = 0.5
+    batch_half: float = 0.0  # batch width at which the batched path ramps up
+    quirks: Tuple[str, ...] = ()
+    threads: Optional[int] = None  # explicit override of the thread count
+
+    def with_threads(self, threads: int) -> "CpuLibraryModel":
+        return replace(self, threads=threads)
+
+
+@dataclass(frozen=True)
+class GpuLibraryModel:
+    """Constants for a GPU BLAS library + runtime pair.
+
+    ``occ_ramp_flops`` parameterizes the occupancy ramp
+    ``F / (F + occ_ramp_flops)`` — how much work a kernel needs before
+    it fills the device.  ``gemv_row_half`` models GEMV row-parallelism:
+    matrices with few rows cannot occupy the memory system
+    (``m / (m + gemv_row_half)``).
+    """
+
+    name: str
+    launch_s: float = 5.0e-6
+    gemv_launch_s: float = 6.0e-6
+    occ_ramp_flops: float = 300.0e6
+    hbm_eff: float = 0.85
+    gemv_bw_eff: float = 0.7
+    gemv_row_half: float = 1000.0
+    quirks: Tuple[str, ...] = ()
+
+
+ONEMKL = CpuLibraryModel(
+    name="onemkl",
+    threading="scale-with-size",
+    overhead_s=1.2e-6,
+    sync_per_thread_s=20.0e-9,
+    grain_flops=24.0e3,
+    ramp_flops=260.0e3,
+    eff_floor=0.002,
+    gemm_eff=1.0,
+    out_half=40.0,
+    k_half=475.0,
+    shape_floor=0.15,  # Table V: fixed-32 shapes stay bandwidth-bound, not dead
+    gemv_parallel=True,
+    gemv_overhead_s=1.4e-6,
+    gemv_grain_bytes=2.0e6,
+    gemv_grain_rows=256.0,  # oneMKL partitions along the longest extent
+    batched_eff=0.55,
+    quirks=("onemkl-sq629-cliff",),
+)
+
+NVPL = CpuLibraryModel(
+    name="nvpl",
+    threading="always-max",
+    overhead_s=0.3e-6,
+    sync_per_thread_s=45.0e-9,
+    grain_flops=24.0e3,  # unused under always-max
+    ramp_flops=1.5e6,
+    eff_floor=0.01,
+    gemm_eff=1.0,
+    out_half=30.0,
+    k_half=16.0,
+    gemv_parallel=True,
+    gemv_overhead_s=2.8e-6,
+    gemv_grain_bytes=1.5e6,
+    batched_eff=0.5,
+    quirks=("nvpl-gemv-flatten",),
+)
+
+ARMPL = CpuLibraryModel(
+    name="armpl",
+    threading="scale-with-size",
+    overhead_s=0.5e-6,
+    sync_per_thread_s=45.0e-9,
+    grain_flops=24.0e3,
+    ramp_flops=300.0e3,
+    eff_floor=0.008,
+    gemm_eff=0.85,
+    out_half=35.0,
+    k_half=90.0,
+    gemv_parallel=True,
+    gemv_overhead_s=2.0e-6,
+    gemv_grain_bytes=1.0e6,
+    batched_eff=0.5,
+)
+
+AOCL = CpuLibraryModel(
+    name="aocl",
+    threading="scale-with-size",
+    overhead_s=6.0e-6,
+    sync_per_thread_s=25.0e-9,
+    grain_flops=40.0e3,
+    ramp_flops=500.0e3,
+    eff_floor=0.005,
+    gemm_eff=1.0,
+    out_half=40.0,
+    k_half=400.0,
+    gemv_parallel=False,  # the Fig. 6 pathology: 0.89 CPUs used
+    gemv_overhead_s=6.0e-6,
+    gemv_grain_bytes=256.0e3,
+    batched_eff=0.15,  # strided batch access defeats blis blocking
+    batch_half=8.0,  # narrow batches cannot amortize the blis pack phase
+)
+
+OPENBLAS = CpuLibraryModel(
+    name="openblas",
+    threading="scale-with-size",
+    overhead_s=1.5e-6,
+    sync_per_thread_s=0.15e-6,
+    grain_flops=32.0e3,
+    ramp_flops=400.0e3,
+    eff_floor=0.005,
+    gemm_eff=0.9,
+    out_half=40.0,
+    k_half=200.0,
+    gemv_parallel=True,
+    gemv_fanout=True,  # 56 threads wake for every GEMV: poor small sizes
+    gemv_overhead_s=1.5e-6,
+    gemv_grain_bytes=128.0e3,
+    batched_eff=0.45,
+)
+
+ONEMKL_GPU = GpuLibraryModel(
+    name="onemkl-gpu",
+    launch_s=10.0e-6,
+    gemv_launch_s=10.0e-6,
+    occ_ramp_flops=450.0e6,
+    hbm_eff=0.85,
+    gemv_bw_eff=0.37,
+    gemv_row_half=30.0,
+)
+
+ONEMKL_GPU_IMPLICIT = GpuLibraryModel(
+    name="onemkl-gpu-implicit",
+    launch_s=12.0e-6,
+    gemv_launch_s=12.0e-6,
+    occ_ramp_flops=450.0e6,
+    hbm_eff=0.85,
+    gemv_bw_eff=0.37,
+    gemv_row_half=30.0,
+    quirks=("implicit-scaling",),
+)
+
+CUBLAS = GpuLibraryModel(
+    name="cublas",
+    launch_s=3.5e-6,
+    gemv_launch_s=4.5e-6,
+    occ_ramp_flops=10.0e6,
+    hbm_eff=0.85,
+    gemv_bw_eff=0.7,
+    gemv_row_half=1000.0,
+)
+
+ROCBLAS = GpuLibraryModel(
+    name="rocblas",
+    launch_s=4.0e-6,
+    gemv_launch_s=14.0e-6,  # large GEMV dispatch: pins Table VI on LUMI
+    occ_ramp_flops=130.0e6,
+    hbm_eff=0.8,
+    gemv_bw_eff=1.0,
+    gemv_row_half=9000.0,
+    quirks=("rocblas-sgemm-k2560",),
+)
+
+CPU_LIBRARIES = {lib.name: lib for lib in (ONEMKL, NVPL, ARMPL, AOCL, OPENBLAS)}
+GPU_LIBRARIES = {
+    lib.name: lib for lib in (ONEMKL_GPU, ONEMKL_GPU_IMPLICIT, CUBLAS, ROCBLAS)
+}
+
+
+def get_cpu_library(name: str) -> CpuLibraryModel:
+    try:
+        return CPU_LIBRARIES[name]
+    except KeyError:
+        raise UnknownLibraryError(
+            f"unknown CPU BLAS library {name!r}; known: {sorted(CPU_LIBRARIES)}"
+        ) from None
+
+
+def get_gpu_library(name: str) -> GpuLibraryModel:
+    try:
+        return GPU_LIBRARIES[name]
+    except KeyError:
+        raise UnknownLibraryError(
+            f"unknown GPU BLAS library {name!r}; known: {sorted(GPU_LIBRARIES)}"
+        ) from None

@@ -1,0 +1,150 @@
+"""``gpu-blob`` — the sweep CLI, mirroring the C++ benchmark's flags.
+
+Examples::
+
+    gpu-blob -i 8 -s 1 -d 4096 --system dawn --step 4 -o results/dawn-i8
+    gpu-blob -i 1 -d 4096 --system lumi --cpu-only
+    gpu-blob -i 4 -d 256 --backend host --kernel gemm
+
+With ``-o`` the per-series CSVs land in the given directory; without it
+the threshold summary table prints to stdout either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .backends.host import HostCpuBackend
+from .backends.simulated import AnalyticBackend
+from .core.config import RunConfig
+from .core.csvio import write_run
+from .core.runner import run_sweep
+from .core.tables import run_summary
+from .errors import ReproError
+from .systems.catalog import make_model, system_names
+from .types import ALL_PRECISIONS, Kernel, Precision, TransferType
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob",
+        description=(
+            "Sweep GEMM/GEMV problem sizes across CPU and GPU and report "
+            "GPU offload thresholds (analytic GPU-BLOB model)."
+        ),
+    )
+    parser.add_argument(
+        "-i", "--iterations", type=int, default=1, metavar="N",
+        help="data re-use: BLAS calls per measured offload (default 1)",
+    )
+    parser.add_argument(
+        "-s", "--start", type=int, default=1, metavar="DIM",
+        help="smallest swept dimension parameter (default 1)",
+    )
+    parser.add_argument(
+        "-d", "--dim", type=int, default=4096, metavar="DIM",
+        help="largest swept dimension parameter (default 4096)",
+    )
+    parser.add_argument(
+        "--step", type=int, default=8, metavar="N",
+        help="sweep stride; the largest size is always included (default 8)",
+    )
+    parser.add_argument(
+        "--system", default="isambard-ai", choices=tuple(system_names()),
+        help="modelled system (default isambard-ai)",
+    )
+    parser.add_argument(
+        "--kernel", choices=("gemm", "gemv", "both"), default="both",
+        help="which BLAS kernels to sweep (default both)",
+    )
+    parser.add_argument(
+        "--problem", action="append", dest="problems", metavar="IDENT",
+        help="problem type ident (repeatable; default: square)",
+    )
+    parser.add_argument(
+        "--precision", choices=("single", "double", "both"), default="both",
+        help="floating-point width(s) to sweep (default both)",
+    )
+    parser.add_argument(
+        "--transfer",
+        action="append",
+        dest="transfers",
+        choices=tuple(t.value for t in TransferType),
+        metavar="PARADIGM",
+        help="transfer paradigm (repeatable; default: all three)",
+    )
+    parser.add_argument(
+        "--cpu-only", action="store_true",
+        help="skip the GPU side entirely (split-run style)",
+    )
+    parser.add_argument(
+        "--backend", choices=("analytic", "host"), default="analytic",
+        help="'analytic' evaluates the model; 'host' times real numpy "
+        "kernels on this machine's CPU (default analytic)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="DIR", default=None,
+        help="write per-series CSVs into DIR",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary table"
+    )
+    return parser
+
+
+def _kernels(choice: str):
+    if choice == "gemm":
+        return (Kernel.GEMM,)
+    if choice == "gemv":
+        return (Kernel.GEMV,)
+    return (Kernel.GEMM, Kernel.GEMV)
+
+
+def _precisions(choice: str):
+    if choice == "single":
+        return (Precision.SINGLE,)
+    if choice == "double":
+        return (Precision.DOUBLE,)
+    return ALL_PRECISIONS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = RunConfig(
+            min_dim=args.start,
+            max_dim=args.dim,
+            iterations=args.iterations,
+            step=args.step,
+            kernels=_kernels(args.kernel),
+            problem_idents=tuple(args.problems or ("square",)),
+            precisions=_precisions(args.precision),
+            transfers=tuple(
+                TransferType(t) for t in (args.transfers or ())
+            ) or tuple(TransferType),
+            gpu_enabled=not args.cpu_only,
+        )
+        if args.backend == "host":
+            backend = HostCpuBackend()
+            system_name = "host"
+        else:
+            backend = AnalyticBackend(make_model(args.system))
+            system_name = None
+        result = run_sweep(backend, config, system_name=system_name)
+    except ReproError as exc:
+        print(f"gpu-blob: error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        paths = write_run(result, args.output)
+        print(f"wrote {len(paths)} series CSV(s) to {args.output}")
+    if not args.quiet:
+        print(run_summary(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

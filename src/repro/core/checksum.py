@@ -1,0 +1,25 @@
+"""Output checksums, mirroring GPU-BLOB's consistency check.
+
+The benchmark validates each device/paradigm run by summing the output
+buffer and comparing against the host result within a relative
+tolerance that scales with the reduction depth.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["checksum", "checksums_match"]
+
+
+def checksum(array) -> float:
+    """Sum of all elements of a NumPy array (or any iterable)."""
+    total = getattr(array, "sum", None)
+    if total is not None:
+        return float(array.sum())
+    return float(math.fsum(array))
+
+
+def checksums_match(a: float, b: float, rel_tol: float = 1e-3, abs_tol: float = 1e-6) -> bool:
+    """0.1% relative margin, as in the paper's consistency check."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

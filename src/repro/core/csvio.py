@@ -1,0 +1,103 @@
+"""Artifact-style CSV persistence for sweep results.
+
+One file per (precision, kernel, problem type) series, named like the
+GPU-BLOB artifact's outputs (``sgemm_square_i8.csv``), with one row per
+timed sample.  ``read_samples``/``read_run_dir`` round-trip everything
+``write_run`` produces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional
+
+from ..types import DeviceKind, Dims, TransferType
+from .records import PerfSample, ProblemSeries
+
+__all__ = [
+    "FIELDNAMES",
+    "read_samples",
+    "read_run_dir",
+    "series_filename",
+    "write_run",
+    "write_series",
+]
+
+FIELDNAMES = (
+    "device", "transfer", "kernel", "problem_type",
+    "m", "n", "k", "iterations", "seconds", "gflops", "checksum_ok",
+)
+
+
+def series_filename(series: ProblemSeries) -> str:
+    """``{s|d|h|bf16}{gemm|gemv}_{ident}_i{iterations}.csv``"""
+    blas = series.precision.blas_prefix + series.kernel.value
+    return f"{blas}_{series.ident}_i{series.iterations}.csv"
+
+
+def _row(sample: PerfSample, series: ProblemSeries) -> dict:
+    return {
+        "device": sample.device.value,
+        "transfer": sample.transfer.value if sample.transfer else "",
+        "kernel": series.kernel.value,
+        "problem_type": series.ident,
+        "m": sample.dims.m,
+        "n": sample.dims.n,
+        "k": sample.dims.k,
+        "iterations": sample.iterations,
+        "seconds": repr(sample.seconds),
+        "gflops": repr(sample.gflops),
+        "checksum_ok": "" if sample.checksum_ok is None else int(sample.checksum_ok),
+    }
+
+
+def write_series(series: ProblemSeries, path) -> Path:
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=FIELDNAMES)
+        writer.writeheader()
+        for sample in series.samples:
+            writer.writerow(_row(sample, series))
+    return path
+
+
+def write_run(result, directory) -> List[Path]:
+    """Write every series of a run; returns the files written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        write_series(series, directory / series_filename(series))
+        for series in result.series
+    ]
+
+
+def _parse_sample(row: dict) -> PerfSample:
+    dims = Dims(int(row["m"]), int(row["n"]), int(row["k"]))
+    transfer: Optional[TransferType] = (
+        TransferType(row["transfer"]) if row["transfer"] else None
+    )
+    checksum_ok = None if row["checksum_ok"] == "" else bool(int(row["checksum_ok"]))
+    return PerfSample(
+        device=DeviceKind(row["device"]),
+        transfer=transfer,
+        dims=dims,
+        iterations=int(row["iterations"]),
+        seconds=float(row["seconds"]),
+        gflops=float(row["gflops"]),
+        checksum_ok=checksum_ok,
+    )
+
+
+def read_samples(path) -> List[PerfSample]:
+    """All samples of one series file, in file order."""
+    with Path(path).open(newline="") as fh:
+        return [_parse_sample(row) for row in csv.DictReader(fh)]
+
+
+def read_run_dir(directory) -> dict:
+    """Every ``*.csv`` under ``directory``, keyed by file stem."""
+    return {
+        p.stem: read_samples(p)
+        for p in sorted(Path(directory).glob("*.csv"))
+    }

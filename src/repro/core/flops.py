@@ -1,0 +1,70 @@
+"""The paper's exact FLOP and byte model (section III-C).
+
+GEMM performs ``2MNK + MN`` flops with ``beta == 0`` and an extra
+``q*MN`` (q = 1) when ``beta != 0``; GEMV performs ``2MN + M + q*M``.
+The byte helpers model GPU-BLOB's transfer set: all operands travel
+host-to-device (A, B and C — the benchmark uploads the output buffer
+too), only the output travels back.
+"""
+
+from __future__ import annotations
+
+from ..types import Dims, Kernel, Precision
+
+__all__ = [
+    "arithmetic_intensity",
+    "d2h_bytes",
+    "flops_for",
+    "h2d_bytes",
+    "kernel_bytes",
+    "naive_flops",
+]
+
+
+def flops_for(dims: Dims, beta: float = 0.0) -> int:
+    """Exact flop count of one kernel invocation."""
+    q = 1 if beta != 0.0 else 0
+    if dims.is_gemm:
+        return 2 * dims.m * dims.n * dims.k + dims.m * dims.n + q * dims.m * dims.n
+    return 2 * dims.m * dims.n + dims.m + q * dims.m
+
+
+def naive_flops(dims: Dims) -> int:
+    """The commonly quoted ``2MNK`` / ``2MN`` approximation."""
+    if dims.is_gemm:
+        return 2 * dims.m * dims.n * dims.k
+    return 2 * dims.m * dims.n
+
+
+def _elements(dims: Dims) -> tuple:
+    """(input elements, output elements) touched by one invocation."""
+    if dims.is_gemm:
+        return (dims.m * dims.k + dims.k * dims.n, dims.m * dims.n)
+    return (dims.m * dims.n + dims.n, dims.m)
+
+
+def h2d_bytes(dims: Dims, precision: Precision) -> int:
+    """Bytes uploaded before the first iteration (A, B and C/x and y)."""
+    inputs, outputs = _elements(dims)
+    return (inputs + outputs) * precision.itemsize
+
+
+def d2h_bytes(dims: Dims, precision: Precision) -> int:
+    """Bytes downloaded after the last iteration (the output only)."""
+    _, outputs = _elements(dims)
+    return outputs * precision.itemsize
+
+
+def kernel_bytes(dims: Dims, precision: Precision, beta: float = 0.0) -> int:
+    """Memory traffic of one invocation assuming perfect operand reuse
+    (reads of A and B/x, a write of the output, plus a read of the
+    output when ``beta != 0``)."""
+    inputs, outputs = _elements(dims)
+    q = 1 if beta != 0.0 else 0
+    return (inputs + outputs + q * outputs) * precision.itemsize
+
+
+def arithmetic_intensity(dims: Dims, precision: Precision, beta: float = 0.0) -> float:
+    """Flops per byte of minimum memory traffic — the paper's lens for
+    why GEMM offloads and GEMV mostly does not."""
+    return flops_for(dims, beta) / kernel_bytes(dims, precision, beta)

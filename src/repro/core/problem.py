@@ -1,0 +1,103 @@
+"""Problem-type generators (paper Table II).
+
+Each problem type maps a sweep parameter ``p`` to concrete dimensions.
+Three families exist:
+
+* ``square`` — all dims equal ``p``; ``p`` sweeps ``s..d``.
+* fixed-32 — one or two dims pinned at 32, the rest sweep ``s..d``.
+* ratio-16 — two dims are 16x the third; ``p`` sweeps ``1..d//16`` so
+  that *every* dimension stays within the requested range (this is how
+  the artifact's CSVs are parameterized: ``mn_m16k`` at ``p=256`` is
+  ``{4096, 4096, 256}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..errors import UnknownProblemTypeError
+from ..types import Dims, Kernel
+
+__all__ = [
+    "ALL_PROBLEM_TYPES",
+    "GEMM_PROBLEM_TYPES",
+    "GEMV_PROBLEM_TYPES",
+    "NONSQUARE_GEMM_TYPES",
+    "NONSQUARE_GEMV_TYPES",
+    "ProblemType",
+    "get_problem_type",
+]
+
+
+@dataclass(frozen=True)
+class ProblemType:
+    ident: str
+    kernel: Kernel
+    _dims: Callable[[int], Tuple[int, ...]]
+    ratio16: bool = False
+
+    def dims_at(self, p: int) -> Dims:
+        if p < 1:
+            raise ValueError(f"sweep parameter must be >= 1, got {p}")
+        return Dims(*self._dims(p))
+
+    def param_range(self, min_dim: int, max_dim: int) -> range:
+        """All sweep parameters whose dims fit inside [min_dim, max_dim]."""
+        if self.ratio16:
+            lo = max(1, -(-min_dim // 16))
+            hi = max_dim // 16
+        else:
+            lo, hi = max(1, min_dim), max_dim
+        return range(lo, hi + 1)
+
+    @property
+    def name(self) -> str:
+        """Alias of ``ident`` (the name used in tables and filenames)."""
+        return self.ident
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kernel.value}:{self.ident}"
+
+
+def _pt(ident, kernel, fn, ratio16=False):
+    return ProblemType(ident, kernel, fn, ratio16)
+
+
+GEMM_PROBLEM_TYPES = (
+    _pt("square", Kernel.GEMM, lambda p: (p, p, p)),
+    # ratio-16 family: two dims 16x the third
+    _pt("mn_m16k", Kernel.GEMM, lambda p: (16 * p, 16 * p, p), ratio16=True),
+    _pt("mn_k16m", Kernel.GEMM, lambda p: (p, p, 16 * p), ratio16=True),
+    _pt("mk_n16k", Kernel.GEMM, lambda p: (p, 16 * p, p), ratio16=True),
+    _pt("kn_m16k", Kernel.GEMM, lambda p: (16 * p, p, p), ratio16=True),
+    # fixed-32 family
+    _pt("mn_k32", Kernel.GEMM, lambda p: (p, p, 32)),
+    _pt("mn32_k", Kernel.GEMM, lambda p: (32, 32, p)),
+    _pt("mk32_n", Kernel.GEMM, lambda p: (32, p, 32)),
+    _pt("kn32_m", Kernel.GEMM, lambda p: (p, 32, 32)),
+)
+
+GEMV_PROBLEM_TYPES = (
+    _pt("square", Kernel.GEMV, lambda p: (p, p)),
+    _pt("m16n", Kernel.GEMV, lambda p: (16 * p, p), ratio16=True),
+    _pt("n16m", Kernel.GEMV, lambda p: (p, 16 * p), ratio16=True),
+    _pt("m32_n", Kernel.GEMV, lambda p: (32, p)),
+    _pt("n32_m", Kernel.GEMV, lambda p: (p, 32)),
+)
+
+ALL_PROBLEM_TYPES = GEMM_PROBLEM_TYPES + GEMV_PROBLEM_TYPES
+NONSQUARE_GEMM_TYPES = tuple(t for t in GEMM_PROBLEM_TYPES if t.ident != "square")
+NONSQUARE_GEMV_TYPES = tuple(t for t in GEMV_PROBLEM_TYPES if t.ident != "square")
+
+_BY_KEY = {(t.kernel, t.ident): t for t in ALL_PROBLEM_TYPES}
+
+
+def get_problem_type(kernel: Kernel, ident: str) -> ProblemType:
+    try:
+        return _BY_KEY[(kernel, ident)]
+    except KeyError:
+        raise UnknownProblemTypeError(
+            f"no problem type {ident!r} for kernel {kernel.value!r}; "
+            f"known: {sorted(t.ident for t in ALL_PROBLEM_TYPES if t.kernel is kernel)}"
+        ) from None

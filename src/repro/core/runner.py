@@ -1,0 +1,102 @@
+"""The sweep runner: GPU-BLOB's main loop over a backend.
+
+For every (problem type, precision) pair in the config the runner walks
+the sweep parameters in ascending order, samples the CPU and then the
+GPU under each transfer paradigm, and collects the timings into one
+:class:`~repro.core.records.ProblemSeries` — the unit the threshold
+detector and all tables/figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..types import Kernel, Precision, TransferType
+from .config import RunConfig
+from .records import ProblemSeries
+from .threshold import ThresholdResult, threshold_for_series
+
+__all__ = ["RunResult", "run_sweep"]
+
+
+@dataclass
+class RunResult:
+    """Everything one ``run_sweep`` call produced."""
+
+    config: RunConfig
+    system_name: Optional[str] = None
+    series: List[ProblemSeries] = field(default_factory=list)
+
+    def series_for(
+        self, kernel: Kernel, ident: str, precision: Precision
+    ) -> ProblemSeries:
+        for s in self.series:
+            if (
+                s.kernel is kernel
+                and s.ident == ident
+                and s.precision is precision
+            ):
+                return s
+        raise KeyError(
+            f"no series for ({kernel.value}, {ident!r}, {precision.value}) "
+            f"in this run"
+        )
+
+    def thresholds(
+        self, min_consecutive: int = 2
+    ) -> Dict[Tuple[str, str, TransferType], ThresholdResult]:
+        """Offload thresholds of every series under every swept paradigm,
+        keyed ``(blas_name, problem_ident, transfer)`` — e.g.
+        ``("sgemm", "square", TransferType.ONCE)``."""
+        out: Dict[Tuple[str, str, TransferType], ThresholdResult] = {}
+        for s in self.series:
+            blas_name = s.precision.blas_prefix + s.kernel.value
+            for transfer in s.transfer_types():
+                out[(blas_name, s.ident, transfer)] = threshold_for_series(
+                    s, transfer, min_consecutive
+                )
+        return out
+
+
+def run_sweep(
+    backend,
+    config: RunConfig,
+    system_name: Optional[str] = None,
+) -> RunResult:
+    """Execute one GPU-BLOB sweep of ``config`` on ``backend``."""
+    if system_name is None:
+        system_name = getattr(backend, "system_name", None)
+    result = RunResult(config=config, system_name=system_name)
+    gpu_on = config.gpu_enabled and backend.has_gpu
+    transfers = tuple(
+        t for t in config.transfers if t in backend.gpu_transfers
+    ) if gpu_on else ()
+
+    for problem_type in config.problem_types():
+        params = config.sweep_params(problem_type)
+        for precision in config.precisions:
+            series = ProblemSeries(
+                problem_type=problem_type,
+                precision=precision,
+                iterations=config.iterations,
+            )
+            for p in params:
+                dims = problem_type.dims_at(p)
+                if config.cpu_enabled:
+                    series.add(
+                        backend.cpu_sample(
+                            problem_type.kernel, dims, precision,
+                            config.iterations, config.alpha, config.beta,
+                        )
+                    )
+                for transfer in transfers:
+                    sample = backend.gpu_sample(
+                        problem_type.kernel, dims, precision,
+                        config.iterations, transfer,
+                        config.alpha, config.beta,
+                    )
+                    if sample is not None:
+                        series.add(sample)
+            result.series.append(series)
+    return result

@@ -1,0 +1,133 @@
+"""Paper-style text tables for sweep results.
+
+``threshold_table_for_runs`` renders the Table III/IV layout (rows are
+iteration counts, columns transfer paradigms, cells ``S : D`` threshold
+dims); ``first_threshold_iteration`` answers the Table V/VI question
+(how much data re-use before Transfer-Once first yields a threshold);
+``run_summary`` is the per-run report the CLI and quickstart print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..types import ALL_PRECISIONS, Kernel, Precision, TransferType
+from .threshold import threshold_for_series
+
+__all__ = [
+    "first_threshold_iteration",
+    "render_table",
+    "run_summary",
+    "threshold_table_for_runs",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with a header rule, column-width aligned."""
+    table = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [
+        max(len(row[col]) for row in table if col < len(row))
+        for col in range(max(len(r) for r in table))
+    ]
+
+    def fmt(row):
+        return " | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(table[0]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in table[1:])
+    return "\n".join(lines)
+
+
+def _cell(run, kernel: Kernel, ident: str, transfer: TransferType) -> str:
+    """``S : D`` threshold cell for one (run, transfer)."""
+    parts = []
+    for precision in ALL_PRECISIONS:
+        try:
+            series = run.series_for(kernel, ident, precision)
+        except KeyError:
+            parts.append("—")
+            continue
+        result = threshold_for_series(series, transfer)
+        parts.append(str(result.dims) if result.found else "—")
+    return " : ".join(parts)
+
+
+def threshold_table_for_runs(
+    runs: Dict[int, "RunResult"],
+    kernel: Kernel,
+    ident: str,
+    title: Optional[str] = None,
+) -> str:
+    """Table III/IV layout: one row per iteration count, one column per
+    transfer paradigm, ``SGEMM : DGEMM`` threshold dims per cell."""
+    iterations = sorted(runs)
+    transfers = _swept_transfers(runs[iterations[0]], kernel, ident)
+    headers = ["Iterations"] + [t.label for t in transfers]
+    rows = [
+        [str(i)] + [_cell(runs[i], kernel, ident, t) for t in transfers]
+        for i in iterations
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def _swept_transfers(run, kernel: Kernel, ident: str) -> List[TransferType]:
+    for s in run.series:
+        if s.kernel is kernel and s.ident == ident:
+            return list(s.transfer_types())
+    return []
+
+
+def first_threshold_iteration(
+    runs: Dict[int, "RunResult"],
+    kernel: Kernel,
+    ident: str,
+    precision: Precision,
+    transfer: TransferType = TransferType.ONCE,
+) -> Optional[int]:
+    """The smallest iteration count at which ``transfer`` first yields an
+    offload threshold — the Table V/VI statistic.  None if it never does."""
+    for i in sorted(runs):
+        try:
+            series = runs[i].series_for(kernel, ident, precision)
+        except KeyError:
+            continue
+        if threshold_for_series(series, transfer).found:
+            return i
+    return None
+
+
+def run_summary(result) -> str:
+    """One table per run: every (kernel, problem, precision) row with its
+    thresholds under each swept transfer paradigm."""
+    transfers = []
+    for s in result.series:
+        for t in s.transfer_types():
+            if t not in transfers:
+                transfers.append(t)
+    headers = ["Problem", "Precision"] + [t.label for t in transfers]
+    rows = []
+    for s in result.series:
+        row = [f"{s.kernel.value}:{s.ident}", s.precision.value]
+        for t in transfers:
+            if t in s.transfer_types():
+                r = threshold_for_series(s, t)
+                row.append(str(r.dims) if r.found else "—")
+            else:
+                row.append("n/a")
+        rows.append(row)
+    name = result.system_name or "unnamed system"
+    title = (
+        f"GPU offload thresholds on {name} "
+        f"(iterations={result.config.iterations})"
+    )
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro engine."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A RunConfig or CLI invocation is invalid."""
+
+
+class UnknownSystemError(ReproError):
+    """A system name is not present in the catalog."""
+
+
+class UnknownLibraryError(ReproError):
+    """A BLAS library name is not present in the registry."""
+
+
+class UnknownProblemTypeError(ReproError):
+    """A problem-type ident does not exist for the requested kernel."""
+
+
+class DeferredFeatureError(ReproError, NotImplementedError):
+    """The requested subsystem is documented but not yet restored.
+
+    The discrete-event engine, USM page tables, sparse BLAS, the
+    pipelined Transfer-Always schedule and the multi-tile GPU model are
+    deferred; see the "Restored vs deferred" section of DESIGN.md.
+    """
+
+    def __init__(self, feature: str) -> None:
+        super().__init__(
+            f"{feature} is deferred in this build; the analytic path is "
+            "available. See DESIGN.md 'Restored vs deferred'."
+        )

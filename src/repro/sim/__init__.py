@@ -1,0 +1,15 @@
+"""Simulation layer: closed-form device models and deterministic noise."""
+
+from .cpu import CpuModel
+from .gpu import GpuModel
+from .noise import NO_NOISE, DeterministicNoise, NoiseModel
+from .perfmodel import NodePerfModel
+
+__all__ = [
+    "CpuModel",
+    "DeterministicNoise",
+    "GpuModel",
+    "NO_NOISE",
+    "NodePerfModel",
+    "NoiseModel",
+]

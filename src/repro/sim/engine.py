@@ -1,0 +1,23 @@
+"""Discrete-event execution engine — deferred.
+
+The DES replays each measurement as explicit commands on simulated DMA
+and compute engines.  The closed-form analytic backend covers every
+paper result; the event engine lands with the overlap studies
+(``repro.sim.pipeline``).
+"""
+
+from __future__ import annotations
+
+from ..errors import DeferredFeatureError
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Placeholder for the discrete-event engine (see DESIGN.md)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise DeferredFeatureError(
+            "the discrete-event engine is not part of this milestone; "
+            "use repro.backends.simulated.AnalyticBackend"
+        )

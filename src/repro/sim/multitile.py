@@ -1,0 +1,21 @@
+"""Structural multi-tile GPU model — deferred.
+
+Appendix A's implicit-scaling behaviour is reproduced by the measured
+``implicit-scaling`` quirk (``repro.sim.quirks``); the idealized
+structural two-tile model (work split + MDFI sharing) is deferred.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeferredFeatureError
+
+__all__ = ["MultiTileGpu"]
+
+
+class MultiTileGpu:
+    def __init__(self, *args, **kwargs) -> None:
+        raise DeferredFeatureError(
+            "the structural multi-tile model is deferred; implicit scaling "
+            "is modelled by the 'implicit-scaling' quirk "
+            "(gpu_library='onemkl-gpu-implicit')"
+        )

@@ -1,0 +1,44 @@
+"""Deterministic run-to-run noise.
+
+Real sweeps jitter by a percent or two; the simulator reproduces that
+with a *deterministic* multiplicative factor derived from a CRC of the
+sample key, so identical configurations always produce identical
+curves (a property the ablation benchmark relies on).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["NO_NOISE", "DeterministicNoise", "NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Base: no noise.  ``factor`` maps a hashable sample key to a
+    multiplicative time factor."""
+
+    amplitude: float = 0.0
+
+    def factor(self, key: tuple) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DeterministicNoise(NoiseModel):
+    """Uniform multiplicative noise in ``1 +/- amplitude``, keyed by a
+    stable CRC32 of (seed, key)."""
+
+    amplitude: float = 0.02
+    seed: int = 0
+
+    def factor(self, key: tuple) -> float:
+        if self.amplitude == 0.0:
+            return 1.0
+        digest = zlib.crc32(repr((self.seed,) + tuple(key)).encode())
+        unit = digest / 0xFFFFFFFF  # [0, 1]
+        return 1.0 + self.amplitude * (2.0 * unit - 1.0)
+
+
+NO_NOISE = NoiseModel()

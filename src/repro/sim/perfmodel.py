@@ -1,0 +1,153 @@
+"""Node-level composition: CPU, GPU and the three transfer paradigms.
+
+Closed forms (section III-B of the paper):
+
+* Transfer-Once:   ``h2d(A,B,C) + i * kernel + d2h(C)``
+* Transfer-Always: ``i * (staged h2d + kernel + staged d2h)``
+* Unified-Memory:  fault-driven migration in, ``i *`` (kernel + residency
+  refresh), then writeback.
+
+Each direction of an explicit transfer pays the link latency; Transfer-
+Always additionally streams through unpinned staging buffers
+(``link.staging_bw_scale``), which is why its thresholds *rise* with
+data re-use while Transfer-Once's fall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blas.registry import CpuLibraryModel, GpuLibraryModel, get_cpu_library, get_gpu_library
+from ..core.flops import d2h_bytes, flops_for, h2d_bytes
+from ..systems.specs import SystemSpec
+from ..types import Dims, Precision, TransferType
+from .cpu import CpuModel
+from .gpu import GpuModel
+from .noise import NO_NOISE, NoiseModel
+
+__all__ = ["NodePerfModel"]
+
+
+class NodePerfModel:
+    """Analytic performance model of one heterogeneous node."""
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        cpu_library: Optional[CpuLibraryModel] = None,
+        gpu_library: Optional[GpuLibraryModel] = None,
+        cpu_threads: Optional[int] = None,
+        noise: NoiseModel = NO_NOISE,
+    ) -> None:
+        self.spec = spec
+        cpu_lib = cpu_library or get_cpu_library(spec.cpu_library)
+        threads = cpu_threads or cpu_lib.threads or spec.cpu_threads
+        self.cpu = CpuModel(spec.cpu, cpu_lib, max_threads=threads, noise=noise)
+        if spec.gpu is not None:
+            gpu_lib = gpu_library or get_gpu_library(spec.gpu_library)
+            self.gpu = GpuModel(spec.gpu, gpu_lib, noise=NO_NOISE)
+        else:
+            self.gpu = None
+        self.noise = noise
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    # -- device-side pieces -------------------------------------------
+    def cpu_time(
+        self,
+        dims: Dims,
+        precision: Precision,
+        iterations: int = 1,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> float:
+        return self.cpu.time(dims, precision, iterations, alpha, beta)
+
+    def kernel_time(
+        self, dims: Dims, precision: Precision, alpha: float = 1.0, beta: float = 0.0
+    ) -> float:
+        return self.gpu.kernel_time(dims, precision, alpha, beta)
+
+    def h2d_time(self, dims: Dims, precision: Precision) -> float:
+        link = self.spec.link
+        return link.latency_s + h2d_bytes(dims, precision) / (link.bw_gbs * 1e9)
+
+    def d2h_time(self, dims: Dims, precision: Precision) -> float:
+        link = self.spec.link
+        return link.latency_s + d2h_bytes(dims, precision) / (link.bw_gbs * 1e9)
+
+    # -- paradigms ----------------------------------------------------
+    def _gpu_total(
+        self,
+        dims: Dims,
+        precision: Precision,
+        iterations: int,
+        transfer: TransferType,
+        alpha: float,
+        beta: float,
+    ) -> float:
+        link = self.spec.link
+        kern = self.gpu.kernel_time(dims, precision, alpha, beta)
+        up = h2d_bytes(dims, precision)
+        down = d2h_bytes(dims, precision)
+        if transfer is TransferType.ONCE:
+            total = (
+                self.h2d_time(dims, precision)
+                + iterations * kern
+                + self.d2h_time(dims, precision)
+            )
+        elif transfer is TransferType.ALWAYS:
+            staged_bw = link.bw_gbs * link.staging_bw_scale * 1e9
+            per_iter = (
+                2.0 * link.latency_s + (up + down) / staged_bw + kern
+            )
+            total = iterations * per_iter
+        else:  # UNIFIED
+            usm = self.spec.usm
+            migrate_bw = link.bw_gbs * usm.migration_bw_scale * 1e9
+            faults = up / (usm.pages_per_fault * usm.page_bytes)
+            migrate_in = link.latency_s + faults * usm.fault_latency_s + up / migrate_bw
+            per_iter = kern + usm.iter_fault_s + usm.iter_refresh_fraction * (
+                up / (link.bw_gbs * 1e9)
+            )
+            writeback = link.latency_s + down / migrate_bw
+            total = migrate_in + iterations * per_iter + writeback
+        return total
+
+    def gpu_time(
+        self,
+        dims: Dims,
+        precision: Precision,
+        iterations: int = 1,
+        transfer: TransferType = TransferType.ONCE,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> float:
+        total = self._gpu_total(dims, precision, iterations, transfer, alpha, beta)
+        total *= self.noise.factor(
+            ("gpu", transfer.value, dims.as_tuple(), precision.value, iterations)
+        )
+        return total
+
+    # -- convenience rates --------------------------------------------
+    def cpu_gflops(
+        self, dims: Dims, precision: Precision, iterations: int = 1
+    ) -> float:
+        t = self.cpu_time(dims, precision, iterations)
+        return iterations * flops_for(dims) / t / 1e9
+
+    def gpu_gflops(
+        self,
+        dims: Dims,
+        precision: Precision,
+        iterations: int = 1,
+        transfer: TransferType = TransferType.ONCE,
+    ) -> float:
+        t = self.gpu_time(dims, precision, iterations, transfer)
+        return iterations * flops_for(dims) / t / 1e9

@@ -1,0 +1,25 @@
+"""Double-buffered Transfer-Always schedules — deferred.
+
+These require the discrete-event engine (``repro.sim.engine``) to model
+copy/compute overlap; the serialized closed forms live in
+:class:`repro.sim.perfmodel.NodePerfModel`.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeferredFeatureError
+
+__all__ = ["pipelined_always_time", "serial_always_time"]
+
+
+def serial_always_time(model, dims, precision, iterations: int) -> float:
+    raise DeferredFeatureError(
+        "pipeline schedules are deferred with the discrete-event engine; "
+        "use NodePerfModel.gpu_time(..., transfer=TransferType.ALWAYS)"
+    )
+
+
+def pipelined_always_time(model, dims, precision, iterations: int) -> float:
+    raise DeferredFeatureError(
+        "pipeline schedules are deferred with the discrete-event engine"
+    )

@@ -1,0 +1,21 @@
+"""Page-granular unified-memory simulation — deferred.
+
+The closed-form USM cost model lives in
+:meth:`repro.sim.perfmodel.NodePerfModel.gpu_time` (fault-driven
+migration + per-iteration residency refresh).  The page-table-level
+simulation of individual fault batches is deferred.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeferredFeatureError
+
+__all__ = ["PageTable"]
+
+
+class PageTable:
+    def __init__(self, *args, **kwargs) -> None:
+        raise DeferredFeatureError(
+            "page-granular USM simulation is deferred; the closed-form "
+            "USM model lives in NodePerfModel.gpu_time"
+        )

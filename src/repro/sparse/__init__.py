@@ -1,0 +1,70 @@
+"""Sparse SpMV extension — deferred.
+
+The paper's final future-work item (sparse BLAS support) is planned but
+not yet restored in this subsystem rebuild.  The public names are
+importable so that benchmark modules collect, but constructing a model
+or calling a kernel raises :class:`~repro.errors.DeferredFeatureError`.
+
+Planned surface (see DESIGN.md X4): CSR/COO/ELL formats with conversion,
+three real SpMV kernels cross-validated by checksum, and a
+``SparseNodeModel`` giving size- and re-use offload thresholds by
+density and structure (``BANDED`` vs ``RANDOM`` patterns).
+"""
+
+from __future__ import annotations
+
+from ..errors import DeferredFeatureError
+
+__all__ = [
+    "BANDED",
+    "RANDOM",
+    "SparseNodeModel",
+    "SpmvProblem",
+    "banded_csr",
+    "make_spmv_operands",
+    "random_csr",
+    "spmv_coo",
+    "spmv_csr",
+    "spmv_ell",
+]
+
+_MESSAGE = "the sparse SpMV extension (DESIGN.md item X4)"
+
+#: Structure-pattern sentinels for threshold queries (importable today;
+#: only meaningful once the extension lands).
+BANDED = "banded"
+RANDOM = "random"
+
+
+class SparseNodeModel:
+    def __init__(self, *args, **kwargs):
+        raise DeferredFeatureError(_MESSAGE)
+
+
+class SpmvProblem:
+    def __init__(self, *args, **kwargs):
+        raise DeferredFeatureError(_MESSAGE)
+
+
+def banded_csr(*args, **kwargs):
+    raise DeferredFeatureError(_MESSAGE)
+
+
+def random_csr(*args, **kwargs):
+    raise DeferredFeatureError(_MESSAGE)
+
+
+def make_spmv_operands(*args, **kwargs):
+    raise DeferredFeatureError(_MESSAGE)
+
+
+def spmv_csr(*args, **kwargs):
+    raise DeferredFeatureError(_MESSAGE)
+
+
+def spmv_coo(*args, **kwargs):
+    raise DeferredFeatureError(_MESSAGE)
+
+
+def spmv_ell(*args, **kwargs):
+    raise DeferredFeatureError(_MESSAGE)

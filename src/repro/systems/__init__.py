@@ -1,0 +1,36 @@
+"""Calibrated system models of the paper's three machines."""
+
+from .catalog import get_system, make_model, register_system, system_names
+from .dawn import DAWN, MAX_1550_TILE, XEON_8468
+from .isambard import GRACE_72, H100_GH200, ISAMBARD_AI
+from .lumi import EPYC_7A53, LUMI, MI250X_GCD
+from .specs import (
+    CpuSocketSpec,
+    GpuSpec,
+    LinkSpec,
+    MatrixEngineSpec,
+    SystemSpec,
+    UsmSpec,
+)
+
+__all__ = [
+    "CpuSocketSpec",
+    "DAWN",
+    "EPYC_7A53",
+    "GRACE_72",
+    "GpuSpec",
+    "H100_GH200",
+    "ISAMBARD_AI",
+    "LUMI",
+    "LinkSpec",
+    "MAX_1550_TILE",
+    "MI250X_GCD",
+    "MatrixEngineSpec",
+    "SystemSpec",
+    "UsmSpec",
+    "XEON_8468",
+    "get_system",
+    "make_model",
+    "register_system",
+    "system_names",
+]

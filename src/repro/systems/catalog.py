@@ -1,0 +1,74 @@
+"""System registry and model factory."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..errors import UnknownSystemError
+from .dawn import DAWN
+from .isambard import ISAMBARD_AI
+from .lumi import LUMI
+from .specs import SystemSpec
+
+__all__ = [
+    "get_system",
+    "make_model",
+    "register_system",
+    "system_names",
+]
+
+_REGISTRY: Dict[str, SystemSpec] = {}
+
+
+def register_system(spec: SystemSpec, overwrite: bool = False) -> SystemSpec:
+    if spec.name in _REGISTRY and not overwrite:
+        raise UnknownSystemError(
+            f"system {spec.name!r} already registered (pass overwrite=True)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+for _spec in (DAWN, LUMI, ISAMBARD_AI):
+    register_system(_spec)
+
+
+def get_system(name: str) -> SystemSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSystemError(
+            f"unknown system {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def system_names() -> tuple:
+    return tuple(sorted(_REGISTRY))
+
+
+def make_model(
+    system: Union[str, SystemSpec],
+    cpu_library: Optional[str] = None,
+    gpu_library: Optional[str] = None,
+    cpu_threads: Optional[int] = None,
+    noise=None,
+):
+    """Build a :class:`~repro.sim.perfmodel.NodePerfModel` for a system.
+
+    ``system`` is a registered name or a :class:`SystemSpec`.  Library
+    names and the thread count override the system defaults; ``noise``
+    defaults to a small deterministic jitter (pass
+    :data:`repro.sim.noise.NO_NOISE` for exact closed forms).
+    """
+    from ..blas.registry import get_cpu_library, get_gpu_library
+    from ..sim.noise import DeterministicNoise
+    from ..sim.perfmodel import NodePerfModel
+
+    spec = system if isinstance(system, SystemSpec) else get_system(system)
+    cpu_lib = get_cpu_library(cpu_library or spec.cpu_library)
+    gpu_lib = get_gpu_library(gpu_library or spec.gpu_library)
+    if cpu_threads is not None:
+        cpu_lib = cpu_lib.with_threads(cpu_threads)
+    if noise is None:
+        noise = DeterministicNoise(amplitude=0.01)
+    return NodePerfModel(spec, cpu_lib, gpu_lib, noise=noise)

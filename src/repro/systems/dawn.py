@@ -1,0 +1,53 @@
+"""DAWN (Cambridge): Xeon Platinum 8468 + Intel Max 1550 (one tile).
+
+The paper pins GPU-BLOB to a single Max 1550 tile (explicit scaling,
+Appendix A) and one 48-core socket with oneMKL on both sides, linked by
+PCIe 5.0.  Constants are calibrated against the artifact's CSVs: square
+SGEMM plateaus near 5.7 TFLOP/s on the CPU and 18.5 TFLOP/s on the
+tile, the PCIe path delivers ~55 GB/s, and the CPU GEMV warm-data cliff
+sits where the working set leaves the effective LLC (~66.5 MB, the
+{4089} boundary of Table IV).
+"""
+
+from __future__ import annotations
+
+from .specs import CpuSocketSpec, GpuSpec, LinkSpec, SystemSpec, UsmSpec
+
+__all__ = ["DAWN", "MAX_1550_TILE", "XEON_8468"]
+
+XEON_8468 = CpuSocketSpec(
+    name="xeon-platinum-8468",
+    cores=48,
+    freq_ghz=2.1,
+    flops_per_cycle_f64=32.0,  # 2x AVX-512 FMA
+    mem_bw_gbs=220.0,
+    single_core_mem_bw_gbs=6.0,
+    llc_bytes=66.5e6,  # effective; the Table IV {4089}/{2889} boundary
+    cache_bw_gbs=600.0,
+    single_core_cache_bw_gbs=35.0,
+    warm_compute_boost=1.18,
+)
+
+MAX_1550_TILE = GpuSpec(
+    name="max-1550-tile",
+    peak_gflops_f64=12400.0,
+    peak_gflops_f32=18500.0,
+    # XMX systolic arrays: reduced precision runs far above 2x FP32.
+    peak_gflops_f16=105.0e3,
+    peak_gflops_bf16=105.0e3,
+    mem_bw_gbs=1638.0,
+)
+
+DAWN = SystemSpec(
+    name="dawn",
+    cpu=XEON_8468,
+    gpu=MAX_1550_TILE,
+    link=LinkSpec(name="pcie-5", bw_gbs=55.0, latency_s=15.0e-6,
+                  staging_bw_scale=0.75),
+    usm=UsmSpec(fault_latency_s=20.0e-6, pages_per_fault=16,
+                migration_bw_scale=0.6, iter_fault_s=10.0e-6,
+                iter_refresh_fraction=0.02),
+    cpu_library="onemkl",
+    gpu_library="onemkl-gpu",
+    cpu_threads=48,
+)

@@ -1,0 +1,50 @@
+"""Isambard-AI (Bristol): one GH200 — Grace (72 cores) + H100, NVLink-C2C.
+
+NVPL on the CPU and cuBLAS on the GPU.  Two properties pin its
+extremely low offload thresholds: NVPL synchronizes all 72 threads on
+every call (Fig. 3), and NVLink-C2C moves operands at ~450 GB/s with
+~1 us latency, so even tiny GEMMs amortize their transfers.
+"""
+
+from __future__ import annotations
+
+from .specs import CpuSocketSpec, GpuSpec, LinkSpec, SystemSpec, UsmSpec
+
+__all__ = ["GRACE_72", "H100_GH200", "ISAMBARD_AI"]
+
+GRACE_72 = CpuSocketSpec(
+    name="grace-72",
+    cores=72,
+    freq_ghz=3.1,
+    flops_per_cycle_f64=16.0,
+    mem_bw_gbs=450.0,
+    single_core_mem_bw_gbs=40.0,
+    llc_bytes=114.0e6,
+    cache_bw_gbs=880.0,
+    single_core_cache_bw_gbs=40.0,
+    # Grace's wide LPDDR5X-backed SLC rewards cache-resident re-use more
+    # than the x86 sockets; this also separates the warm (i>1) Transfer-
+    # Always crossover from the cold one across a stride-8 grid point.
+    warm_compute_boost=1.25,
+)
+
+H100_GH200 = GpuSpec(
+    name="h100-gh200",
+    peak_gflops_f64=42000.0,
+    peak_gflops_f32=53500.0,
+    mem_bw_gbs=3500.0,
+)
+
+ISAMBARD_AI = SystemSpec(
+    name="isambard-ai",
+    cpu=GRACE_72,
+    gpu=H100_GH200,
+    link=LinkSpec(name="nvlink-c2c", bw_gbs=450.0, latency_s=1.2e-6,
+                  staging_bw_scale=0.9),
+    usm=UsmSpec(fault_latency_s=5.0e-6, pages_per_fault=64,
+                migration_bw_scale=0.9, iter_fault_s=2.0e-6,
+                iter_refresh_fraction=0.01),
+    cpu_library="nvpl",
+    gpu_library="cublas",
+    cpu_threads=72,
+)

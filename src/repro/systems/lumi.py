@@ -1,0 +1,48 @@
+"""LUMI-G (CSC): EPYC 7A53 "Trento" + one MI250X GCD.
+
+AOCL on the CPU (56 threads pinned, as in the paper) and rocBLAS on a
+single Graphics Compute Die, over Infinity-Fabric-attached PCIe-class
+bandwidth.  The EPYC's 256 MB of V-Cache holds every swept working set,
+so warm re-use boosts the CPU across the entire range — one reason
+LUMI's Transfer-Always thresholds climb fastest.
+"""
+
+from __future__ import annotations
+
+from .specs import CpuSocketSpec, GpuSpec, LinkSpec, SystemSpec, UsmSpec
+
+__all__ = ["EPYC_7A53", "LUMI", "MI250X_GCD"]
+
+EPYC_7A53 = CpuSocketSpec(
+    name="epyc-7a53",
+    cores=64,
+    freq_ghz=2.0,
+    flops_per_cycle_f64=16.0,
+    mem_bw_gbs=340.0,
+    single_core_mem_bw_gbs=28.0,
+    llc_bytes=256.0e6,
+    cache_bw_gbs=800.0,
+    single_core_cache_bw_gbs=50.0,
+    warm_compute_boost=1.18,
+)
+
+MI250X_GCD = GpuSpec(
+    name="mi250x-gcd",
+    peak_gflops_f64=19000.0,
+    peak_gflops_f32=23900.0,
+    mem_bw_gbs=1600.0,
+)
+
+LUMI = SystemSpec(
+    name="lumi",
+    cpu=EPYC_7A53,
+    gpu=MI250X_GCD,
+    link=LinkSpec(name="infinity-fabric-host", bw_gbs=24.0,
+                  latency_s=10.0e-6, staging_bw_scale=0.75),
+    usm=UsmSpec(fault_latency_s=25.0e-6, pages_per_fault=16,
+                migration_bw_scale=0.5, iter_fault_s=25.0e-6,
+                iter_refresh_fraction=0.05),
+    cpu_library="aocl",
+    gpu_library="rocblas",
+    cpu_threads=56,
+)

@@ -1,0 +1,124 @@
+"""Hardware specification dataclasses for heterogeneous nodes.
+
+A ``SystemSpec`` bundles one CPU socket, one GPU (a single tile/GCD —
+the paper benchmarks single-stack devices), the host<->device link and
+the unified-memory behaviour, plus the library pairing the paper used
+on that machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "CpuSocketSpec",
+    "GpuSpec",
+    "LinkSpec",
+    "MatrixEngineSpec",
+    "SystemSpec",
+    "UsmSpec",
+]
+
+
+@dataclass(frozen=True)
+class MatrixEngineSpec:
+    """A CPU matrix engine (AMX / SME): rate multipliers by precision
+    value (``"bfloat16"``, ``"half"``)."""
+
+    name: str
+    speedups: Tuple[Tuple[str, float], ...] = ()
+
+    def speedup_for(self, precision_value: str) -> float:
+        for name, factor in self.speedups:
+            if name == precision_value:
+                return factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class CpuSocketSpec:
+    """One CPU socket.
+
+    ``flops_per_cycle_f64`` is the per-core FP64 FLOP rate per cycle
+    (FP32 doubles it).  The two ``single_core_*`` bandwidths drive the
+    thread-engagement ramp of memory-bound kernels; ``llc_bytes`` is the
+    *effective* last-level-cache capacity at which warm-data reuse stops
+    (the paper's DAWN GEMV boundary at ~{4089}).
+    """
+
+    name: str
+    cores: int
+    freq_ghz: float
+    flops_per_cycle_f64: float
+    mem_bw_gbs: float
+    single_core_mem_bw_gbs: float
+    llc_bytes: float
+    cache_bw_gbs: float
+    single_core_cache_bw_gbs: float
+    warm_compute_boost: float = 1.18
+    matrix_engine: Optional[MatrixEngineSpec] = None
+
+    def peak_gflops(self, itemsize: int) -> float:
+        per_core = self.flops_per_cycle_f64 * self.freq_ghz
+        if itemsize <= 4:  # single and reduced precisions run FP32 SIMD
+            per_core *= 2.0
+        return self.cores * per_core
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU tile/GCD.  Reduced-precision peaks default to 2x FP32
+    (matrix units), unless the part provides better."""
+
+    name: str
+    peak_gflops_f64: float
+    peak_gflops_f32: float
+    mem_bw_gbs: float
+    peak_gflops_f16: Optional[float] = None
+    peak_gflops_bf16: Optional[float] = None
+
+    def peak_gflops(self, precision_value: str) -> float:
+        if precision_value == "double":
+            return self.peak_gflops_f64
+        if precision_value == "single":
+            return self.peak_gflops_f32
+        if precision_value == "half":
+            return self.peak_gflops_f16 or 2.0 * self.peak_gflops_f32
+        return self.peak_gflops_bf16 or 2.0 * self.peak_gflops_f32
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Host<->device link.  ``staging_bw_scale`` derates the effective
+    bandwidth of Transfer-Always's per-iteration copies (no pinned-
+    buffer reuse), one reason its thresholds rise with data re-use."""
+
+    name: str
+    bw_gbs: float
+    latency_s: float
+    staging_bw_scale: float = 0.75
+
+
+@dataclass(frozen=True)
+class UsmSpec:
+    """Unified/managed memory behaviour (migration is fault-driven)."""
+
+    fault_latency_s: float = 20.0e-6
+    pages_per_fault: int = 16
+    page_bytes: int = 4096
+    migration_bw_scale: float = 0.6
+    iter_fault_s: float = 10.0e-6
+    iter_refresh_fraction: float = 0.02
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    name: str
+    cpu: CpuSocketSpec
+    gpu: Optional[GpuSpec]
+    link: LinkSpec
+    usm: UsmSpec = field(default_factory=UsmSpec)
+    cpu_library: str = "openblas"
+    gpu_library: str = "cublas"
+    cpu_threads: int = 16

@@ -1,0 +1,149 @@
+"""Core value types shared by every layer of the repro engine.
+
+These mirror the vocabulary of the paper: two kernels (GEMM/GEMV), two
+benchmarked precisions (plus the two extension precisions from the
+future-work section), three data-transfer paradigms, and the problem
+dimensions ``{m, n, k}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "ALL_PRECISIONS",
+    "DeviceKind",
+    "Dims",
+    "Kernel",
+    "PAPER_ITERATION_COUNTS",
+    "Precision",
+    "TransferType",
+]
+
+
+class Kernel(Enum):
+    """The two dense BLAS kernels the paper sweeps."""
+
+    GEMM = "gemm"
+    GEMV = "gemv"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Precision(Enum):
+    """Floating-point precisions; SINGLE/DOUBLE are the paper's pair."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+    HALF = "half"
+    BFLOAT16 = "bfloat16"
+
+    @property
+    def itemsize(self) -> int:
+        return _ITEMSIZE[self]
+
+    @property
+    def blas_prefix(self) -> str:
+        """The BLAS naming prefix: sgemm, dgemm, hgemm, bf16gemm."""
+        return _PREFIX[self]
+
+    @property
+    def np_dtype(self) -> str:
+        """NumPy dtype name (bfloat16 is emulated with float32)."""
+        return _NP_DTYPE[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_ITEMSIZE = {
+    Precision.SINGLE: 4,
+    Precision.DOUBLE: 8,
+    Precision.HALF: 2,
+    Precision.BFLOAT16: 2,
+}
+_PREFIX = {
+    Precision.SINGLE: "s",
+    Precision.DOUBLE: "d",
+    Precision.HALF: "h",
+    Precision.BFLOAT16: "bf16",
+}
+_NP_DTYPE = {
+    Precision.SINGLE: "float32",
+    Precision.DOUBLE: "float64",
+    Precision.HALF: "float16",
+    Precision.BFLOAT16: "float32",
+}
+
+#: The precisions every paper table/figure reports.
+ALL_PRECISIONS = (Precision.SINGLE, Precision.DOUBLE)
+
+#: The iteration counts used throughout the paper's tables.
+PAPER_ITERATION_COUNTS = (1, 8, 32, 64, 128)
+
+
+class TransferType(Enum):
+    """The three CPU->GPU data-transfer paradigms of section III-B."""
+
+    ONCE = "once"
+    ALWAYS = "always"
+    UNIFIED = "unified"
+
+    @property
+    def label(self) -> str:
+        return _TRANSFER_LABEL[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_TRANSFER_LABEL = {
+    TransferType.ONCE: "Transfer-Once",
+    TransferType.ALWAYS: "Transfer-Always",
+    TransferType.UNIFIED: "Unified-Memory",
+}
+
+
+class DeviceKind(Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Dims:
+    """Problem dimensions.  GEMV uses ``k == 0`` (y = alpha*A@x + beta*y
+    with A of shape m x n), so ``Dims(m, n)`` is the GEMV form.
+    """
+
+    m: int
+    n: int
+    k: int = 0
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.k > 0
+
+    @property
+    def kernel(self) -> Kernel:
+        return Kernel.GEMM if self.is_gemm else Kernel.GEMV
+
+    @property
+    def min_dim(self) -> int:
+        dims = (self.m, self.n, self.k) if self.is_gemm else (self.m, self.n)
+        return min(dims)
+
+    @property
+    def max_dim(self) -> int:
+        return max(self.m, self.n, self.k)
+
+    def as_tuple(self) -> tuple:
+        return (self.m, self.n, self.k) if self.is_gemm else (self.m, self.n)
+
+    def __str__(self) -> str:
+        """Paper-style threshold notation: ``{m, n, k}`` / ``{m, n}``."""
+        return "{" + ", ".join(str(d) for d in self.as_tuple()) + "}"

@@ -1,0 +1,10 @@
+"""Make ``src/`` importable when pytest is run without PYTHONPATH=src."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,61 @@
+"""RunConfig validation and sweep-parameter generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.problem import get_problem_type
+from repro.errors import ConfigError
+from repro.types import Kernel, Precision, TransferType
+
+
+def test_defaults_sweep_both_kernels_and_precisions():
+    cfg = RunConfig()
+    kinds = {(pt.kernel, pt.ident) for pt in cfg.problem_types()}
+    assert kinds == {(Kernel.GEMM, "square"), (Kernel.GEMV, "square")}
+    assert cfg.precisions == (Precision.SINGLE, Precision.DOUBLE)
+    assert set(cfg.transfers) == set(TransferType)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"min_dim": 0},
+        {"max_dim": 4, "min_dim": 8},
+        {"iterations": 0},
+        {"step": 0},
+        {"cpu_enabled": False, "gpu_enabled": False},
+        {"transfers": ()},
+        {"problem_idents": ("nonexistent",)},
+    ],
+)
+def test_invalid_configs_raise(kwargs):
+    with pytest.raises(ConfigError):
+        RunConfig(**kwargs)
+
+
+def test_cpu_only_config_allows_empty_transfers():
+    cfg = RunConfig(gpu_enabled=False, transfers=())
+    assert cfg.transfers == ()
+
+
+def test_problem_types_skips_idents_missing_for_a_kernel():
+    # mn_k32 exists for GEMM only; the GEMV side is silently skipped.
+    cfg = RunConfig(problem_idents=("mn_k32",))
+    assert [pt.kernel for pt in cfg.problem_types()] == [Kernel.GEMM]
+
+
+def test_sweep_params_stride_always_includes_top():
+    cfg = RunConfig(min_dim=1, max_dim=100, step=8)
+    params = cfg.sweep_params(get_problem_type(Kernel.GEMM, "square"))
+    assert params[0] == 1
+    assert params[-1] == 100
+    assert params[1] - params[0] == 8
+
+
+def test_sweep_params_respects_ratio16_bounds():
+    cfg = RunConfig(min_dim=1, max_dim=4096, step=4)
+    pt = get_problem_type(Kernel.GEMM, "mn_m16k")
+    params = cfg.sweep_params(pt)
+    assert pt.dims_at(params[-1]).max_dim == 4096

@@ -1,0 +1,83 @@
+"""FLOP and byte model identities (paper §III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flops import (
+    arithmetic_intensity,
+    d2h_bytes,
+    flops_for,
+    h2d_bytes,
+    kernel_bytes,
+    naive_flops,
+)
+from repro.types import Dims, Precision
+
+
+def test_gemm_flops_beta_zero():
+    m, n, k = 7, 11, 13
+    assert flops_for(Dims(m, n, k)) == 2 * m * n * k + m * n
+
+
+def test_gemm_flops_beta_nonzero_adds_qmn():
+    m, n, k = 7, 11, 13
+    assert (
+        flops_for(Dims(m, n, k), beta=0.5)
+        == 2 * m * n * k + m * n + m * n
+    )
+
+
+def test_gemv_flops_beta_zero():
+    m, n = 9, 17
+    assert flops_for(Dims(m, n)) == 2 * m * n + m
+
+
+def test_gemv_flops_beta_nonzero_adds_qm():
+    m, n = 9, 17
+    assert flops_for(Dims(m, n), beta=1.0) == 2 * m * n + m + m
+
+
+def test_naive_flops_is_the_2mnk_approximation():
+    assert naive_flops(Dims(8, 8, 8)) == 2 * 8 * 8 * 8
+    assert naive_flops(Dims(8, 8)) == 2 * 8 * 8
+    # The exact count always exceeds the approximation.
+    assert flops_for(Dims(8, 8, 8)) > naive_flops(Dims(8, 8, 8))
+
+
+@pytest.mark.parametrize("precision", [Precision.SINGLE, Precision.DOUBLE])
+def test_gemm_transfer_bytes(precision):
+    m, n, k = 5, 6, 7
+    size = precision.itemsize
+    # Upload: A (m*k), B (k*n) and the output C (m*n); download: C only.
+    assert h2d_bytes(Dims(m, n, k), precision) == (m * k + k * n + m * n) * size
+    assert d2h_bytes(Dims(m, n, k), precision) == m * n * size
+
+
+@pytest.mark.parametrize("precision", [Precision.SINGLE, Precision.DOUBLE])
+def test_gemv_transfer_bytes(precision):
+    m, n = 5, 6
+    size = precision.itemsize
+    assert h2d_bytes(Dims(m, n), precision) == (m * n + n + m) * size
+    assert d2h_bytes(Dims(m, n), precision) == m * size
+
+
+def test_kernel_bytes_counts_output_read_only_with_beta():
+    dims = Dims(4, 4, 4)
+    base = kernel_bytes(dims, Precision.SINGLE)
+    with_beta = kernel_bytes(dims, Precision.SINGLE, beta=2.0)
+    assert with_beta - base == 4 * 4 * Precision.SINGLE.itemsize
+
+
+def test_arithmetic_intensity_gemm_grows_with_k():
+    small = arithmetic_intensity(Dims(64, 64, 4), Precision.SINGLE)
+    large = arithmetic_intensity(Dims(64, 64, 512), Precision.SINGLE)
+    assert large > small
+
+
+def test_arithmetic_intensity_gemv_is_low_and_flat():
+    # GEMV stays O(1) flops/byte no matter the size — the paper's reason
+    # it rarely offloads.
+    for s in (64, 512, 4096):
+        ai = arithmetic_intensity(Dims(s, s), Precision.SINGLE)
+        assert ai < 1.0

@@ -1,0 +1,107 @@
+"""Problem-type dimension relations (paper Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import (
+    ALL_PROBLEM_TYPES,
+    GEMM_PROBLEM_TYPES,
+    GEMV_PROBLEM_TYPES,
+    get_problem_type,
+)
+from repro.errors import UnknownProblemTypeError
+from repro.types import Kernel
+
+
+def test_square_gemm_all_dims_equal():
+    pt = get_problem_type(Kernel.GEMM, "square")
+    d = pt.dims_at(37)
+    assert (d.m, d.n, d.k) == (37, 37, 37)
+
+
+@pytest.mark.parametrize(
+    "ident,relation",
+    [
+        ("mn_m16k", lambda d: d.m == d.n == 16 * d.k),
+        ("mn_k16m", lambda d: d.m == d.n and d.k == 16 * d.m),
+        ("mk_n16k", lambda d: d.m == d.k and d.n == 16 * d.k),
+        ("kn_m16k", lambda d: d.n == d.k and d.m == 16 * d.k),
+    ],
+)
+def test_ratio16_gemm_relations(ident, relation):
+    pt = get_problem_type(Kernel.GEMM, ident)
+    assert pt.ratio16
+    for p in (1, 7, 256):
+        assert relation(pt.dims_at(p))
+
+
+@pytest.mark.parametrize(
+    "ident,relation",
+    [
+        ("mn_k32", lambda d: d.m == d.n and d.k == 32),
+        ("mn32_k", lambda d: d.m == d.n == 32),
+        ("mk32_n", lambda d: d.m == d.k == 32),
+        ("kn32_m", lambda d: d.n == d.k == 32),
+    ],
+)
+def test_fixed32_gemm_relations(ident, relation):
+    pt = get_problem_type(Kernel.GEMM, ident)
+    for p in (1, 33, 4096):
+        assert relation(pt.dims_at(p))
+
+
+@pytest.mark.parametrize(
+    "ident,relation",
+    [
+        ("square", lambda d: d.m == d.n),
+        ("m16n", lambda d: d.m == 16 * d.n),
+        ("n16m", lambda d: d.n == 16 * d.m),
+        ("m32_n", lambda d: d.m == 32),
+        ("n32_m", lambda d: d.n == 32),
+    ],
+)
+def test_gemv_relations(ident, relation):
+    pt = get_problem_type(Kernel.GEMV, ident)
+    for p in (1, 100):
+        d = pt.dims_at(p)
+        assert not d.is_gemm and d.k == 0
+        assert relation(d)
+
+
+def test_ratio16_param_range_keeps_dims_in_bounds():
+    for pt in ALL_PROBLEM_TYPES:
+        if not pt.ratio16:
+            continue
+        params = pt.param_range(1, 4096)
+        assert params
+        largest = pt.dims_at(params[-1])
+        assert largest.max_dim <= 4096
+        # A ratio-16 type swept to d=4096 tops out at {4096, ..., 256}.
+        assert largest.max_dim == 4096
+
+
+def test_square_param_range_is_the_full_interval():
+    pt = get_problem_type(Kernel.GEMM, "square")
+    assert list(pt.param_range(3, 10)) == list(range(3, 11))
+
+
+def test_dims_at_rejects_nonpositive_param():
+    pt = get_problem_type(Kernel.GEMM, "square")
+    with pytest.raises(ValueError):
+        pt.dims_at(0)
+
+
+def test_unknown_problem_type_raises():
+    with pytest.raises(UnknownProblemTypeError):
+        get_problem_type(Kernel.GEMM, "no_such_shape")
+    # GEMM-only idents do not exist for GEMV.
+    with pytest.raises(UnknownProblemTypeError):
+        get_problem_type(Kernel.GEMV, "mn_k32")
+
+
+def test_problem_family_partitions():
+    assert all(t.kernel is Kernel.GEMM for t in GEMM_PROBLEM_TYPES)
+    assert all(t.kernel is Kernel.GEMV for t in GEMV_PROBLEM_TYPES)
+    idents = [(t.kernel, t.ident) for t in ALL_PROBLEM_TYPES]
+    assert len(idents) == len(set(idents))

@@ -1,0 +1,143 @@
+"""Threshold-detector properties (paper §III-D's smoothing rules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.threshold import NOT_FOUND, find_offload_threshold
+from repro.types import Dims
+
+settings.register_profile("tier1", deadline=None, max_examples=60)
+settings.load_profile("tier1")
+
+
+def _dims(n):
+    return [Dims(s, s, s) for s in range(1, n + 1)]
+
+
+def _run(cpu, gpu, **kwargs):
+    return find_offload_threshold(_dims(len(cpu)), cpu, gpu, **kwargs)
+
+
+# -- deterministic cases ---------------------------------------------------
+
+
+def test_gpu_always_faster_threshold_at_first_size():
+    r = _run([2.0] * 6, [1.0] * 6)
+    assert r.found and r.index == 0 and r.dims == Dims(1, 1, 1)
+
+
+def test_cpu_always_faster_no_threshold():
+    r = _run([1.0] * 6, [2.0] * 6)
+    assert not r.found
+    assert r is NOT_FOUND or r.dims is None
+
+
+def test_tie_counts_as_cpu_win():
+    # gt < ct strictly: equal curves never offload.
+    assert not _run([1.0] * 6, [1.0] * 6).found
+
+
+def test_momentary_dip_rejected_by_smoothing():
+    # GPU wins everywhere except one mid-sweep flip: the single CPU win
+    # must not discard the established candidate.
+    cpu = [2.0] * 8
+    gpu = [1.0] * 8
+    gpu[4] = 3.0
+    r = _run(cpu, gpu)
+    assert r.found and r.index == 0
+
+
+def test_two_consecutive_cpu_wins_discard_candidate():
+    cpu = [2.0] * 8
+    gpu = [1.0, 1.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0]
+    r = _run(cpu, gpu)
+    assert r.found and r.index == 4  # the later streak's start
+
+
+def test_single_trailing_gpu_win_is_not_enough():
+    cpu = [1.0] * 6
+    gpu = [2.0] * 5 + [0.5]
+    assert not _run(cpu, gpu).found
+
+
+def test_threshold_reports_streak_start_not_confirmation_point():
+    cpu = [1.0, 1.0, 2.0, 2.0, 2.0]
+    gpu = [2.0, 2.0, 1.0, 1.0, 1.0]
+    r = _run(cpu, gpu)
+    # Confirmed at index 3 (second win) but reported at index 2.
+    assert r.found and r.index == 2 and r.dims == Dims(3, 3, 3)
+
+
+def test_min_consecutive_one_accepts_single_win():
+    cpu = [1.0] * 6
+    gpu = [2.0] * 5 + [0.5]
+    r = _run(cpu, gpu, min_consecutive=1)
+    assert r.found and r.index == 5
+
+
+def test_mismatched_curve_lengths_raise():
+    with pytest.raises(ValueError):
+        find_offload_threshold(_dims(3), [1.0, 1.0], [1.0, 1.0, 1.0])
+
+
+def test_invalid_min_consecutive_raises():
+    with pytest.raises(ValueError):
+        _run([1.0], [2.0], min_consecutive=0)
+
+
+def test_result_is_falsy_when_not_found_truthy_when_found():
+    assert not find_offload_threshold([], [], [])
+    assert _run([2.0, 2.0], [1.0, 1.0])
+
+
+# -- property-style cases --------------------------------------------------
+
+
+@given(cut=st.integers(min_value=0, max_value=12), n=st.integers(min_value=2, max_value=12))
+def test_monotone_crossover_yields_exact_threshold(cut, n):
+    """A single clean CPU->GPU crossover is detected exactly at the
+    crossover point (when at least two GPU wins remain)."""
+    cut = min(cut, n)
+    cpu = [1.0] * n
+    gpu = [2.0] * cut + [0.5] * (n - cut)
+    r = _run(cpu, gpu)
+    if n - cut >= 2:
+        assert r.found and r.index == cut
+    else:
+        assert not r.found
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-6, max_value=1e3),
+            st.floats(min_value=1e-6, max_value=1e3),
+        ),
+        min_size=0,
+        max_size=24,
+    )
+)
+def test_threshold_start_is_a_gpu_win_and_suffix_has_no_long_cpu_streak(curves):
+    """Whatever the curves, a found threshold starts a GPU win and no two
+    consecutive CPU wins follow it; an absent threshold means the sweep
+    ends CPU-ahead or with a single unconfirmed GPU win."""
+    cpu = [c for c, _ in curves]
+    gpu = [g for _, g in curves]
+    r = _run(cpu, gpu)
+    if r.found:
+        assert gpu[r.index] < cpu[r.index]
+        streak = 0
+        for j in range(r.index, len(cpu)):
+            streak = streak + 1 if gpu[j] >= cpu[j] else 0
+            assert streak < 2
+    elif curves:
+        tail_wins = 0
+        for c, g in reversed(curves):
+            if g < c:
+                tail_wins += 1
+            else:
+                break
+        assert tail_wins < 2

@@ -1,0 +1,66 @@
+"""Core enums and the Dims value type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    ALL_PRECISIONS,
+    PAPER_ITERATION_COUNTS,
+    Dims,
+    Kernel,
+    Precision,
+    TransferType,
+)
+
+
+def test_paper_iteration_counts():
+    assert PAPER_ITERATION_COUNTS == (1, 8, 32, 64, 128)
+
+
+def test_all_precisions_are_single_and_double():
+    assert ALL_PRECISIONS == (Precision.SINGLE, Precision.DOUBLE)
+
+
+def test_precision_itemsize_and_prefix():
+    assert Precision.SINGLE.itemsize == 4
+    assert Precision.DOUBLE.itemsize == 8
+    assert Precision.SINGLE.blas_prefix == "s"
+    assert Precision.DOUBLE.blas_prefix == "d"
+
+
+def test_precision_np_dtype():
+    assert np.dtype(Precision.SINGLE.np_dtype) == np.float32
+    assert np.dtype(Precision.DOUBLE.np_dtype) == np.float64
+
+
+def test_dims_gemm_vs_gemv():
+    gemm = Dims(2, 3, 4)
+    gemv = Dims(2, 3)
+    assert gemm.is_gemm and gemm.kernel is Kernel.GEMM
+    assert not gemv.is_gemm and gemv.kernel is Kernel.GEMV
+    assert gemv.k == 0
+
+
+def test_dims_min_max_and_str():
+    d = Dims(4, 9, 2)
+    assert d.min_dim == 2 and d.max_dim == 9
+    assert str(d) == "{4, 9, 2}"
+    assert d.as_tuple() == (4, 9, 2)
+
+
+def test_dims_are_ordered_and_hashable():
+    assert Dims(1, 1, 1) < Dims(2, 2, 2)
+    assert len({Dims(1, 1, 1), Dims(1, 1, 1), Dims(2, 2, 2)}) == 2
+
+
+def test_transfer_labels():
+    assert TransferType.ONCE.label == "Transfer-Once"
+    assert TransferType.ALWAYS.label == "Transfer-Always"
+    assert TransferType.UNIFIED.label == "Unified-Memory"
+
+
+def test_transfer_values_round_trip():
+    for t in TransferType:
+        assert TransferType(t.value) is t
