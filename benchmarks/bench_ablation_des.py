@@ -16,7 +16,7 @@ from repro.backends.simulated import AnalyticBackend, DesBackend
 from repro.core.config import RunConfig
 from repro.core.runner import run_sweep
 from repro.systems.catalog import make_model
-from repro.types import Kernel, Precision
+from repro.types import Precision
 
 CFG = RunConfig(min_dim=1, max_dim=256, iterations=8, step=4,
                 precisions=(Precision.SINGLE,),

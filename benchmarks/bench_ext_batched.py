@@ -54,7 +54,7 @@ def test_ext_batched_offload(benchmark):
     min_batch, dim_thresholds = run_once(benchmark, _experiment)
 
     for iters in (1, REUSE_ITERATIONS):
-        print(f"\nMinimum batch size for GPU offload "
+        print("\nMinimum batch size for GPU offload "
               f"(square SGEMM, Transfer-Once, {iters} pass(es)):")
         rows = [["shape"] + list(SYSTEMS)]
         for dims in SHAPES:
@@ -67,7 +67,7 @@ def test_ext_batched_offload(benchmark):
             rows.append([str(dims.m)] + cells)
         write_csv_rows("ext_batched", f"min_batch_i{iters}.csv", rows)
 
-    print(f"\nSquare SGEMM dimension threshold vs batch width "
+    print("\nSquare SGEMM dimension threshold vs batch width "
           f"({REUSE_ITERATIONS} passes):")
     rows = [["batch"] + list(SYSTEMS)]
     for batch in BATCHES:

@@ -35,7 +35,7 @@ def _experiment():
 def test_ext_energy_thresholds(benchmark):
     data = run_once(benchmark, _experiment)
 
-    print(f"\nRuntime vs energy offload thresholds "
+    print("\nRuntime vs energy offload thresholds "
           f"(square SGEMM, Transfer-Once, {ITERATIONS} iterations):")
     rows = [["system", "time_threshold", "energy_threshold",
              "cpu_J_per_GFLOP@2048", "gpu_J_per_GFLOP@2048"]]

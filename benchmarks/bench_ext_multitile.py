@@ -13,14 +13,26 @@ from __future__ import annotations
 
 import statistics
 
+import pytest
+
 from harness import run_once, write_csv_rows
 from repro.blas.registry import get_gpu_library
 from repro.core.flops import flops_for
+from repro.errors import DeferredFeatureError
 from repro.sim.gpu import GpuModel
 from repro.sim.multitile import MultiTileGpu
 from repro.sim.noise import NO_NOISE
 from repro.systems.dawn import MAX_1550_TILE
 from repro.types import Dims, Precision
+
+try:  # probe once; this build may still defer the structural model
+    MultiTileGpu(
+        GpuModel(MAX_1550_TILE, get_gpu_library("onemkl-gpu"), noise=NO_NOISE)
+    )
+except DeferredFeatureError as exc:
+    pytest.skip(
+        f"structural multi-tile model deferred: {exc}", allow_module_level=True
+    )
 
 SIZES = tuple(range(256, 4097, 128))
 P = Precision.SINGLE
@@ -61,12 +73,12 @@ def test_ext_multitile_ablation(benchmark):
     mean_quirk = statistics.mean(r[2] for r in big)
     mean_structural = statistics.mean(r[3] for r in big)
     software_gap = mean_structural / mean_quirk
-    print(f"\nDAWN GPU SGEMM mean GFLOP/s (m >= 1024):")
+    print("\nDAWN GPU SGEMM mean GFLOP/s (m >= 1024):")
     print(f"  explicit single tile          {mean_single:10.0f}")
     print(f"  implicit, measured (quirk)    {mean_quirk:10.0f}")
     print(f"  implicit, ideal structural    {mean_structural:10.0f}")
     print(f"  => software gap: the stack delivered 1/{software_gap:.1f} "
-          f"of the fabric's structural limit")
+          "of the fabric's structural limit")
 
     # Measured implicit scaling loses to a single tile (Fig. 7)...
     assert mean_quirk < mean_single

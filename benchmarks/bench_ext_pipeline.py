@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from harness import SYSTEMS, run_once, write_csv_rows
 from repro.core.threshold import find_offload_threshold
-from repro.core.flops import flops_for
 from repro.sim.pipeline import pipelined_always_time, serial_always_time
 from repro.systems.catalog import make_model
 from repro.types import Dims, Precision
@@ -39,17 +38,18 @@ def _experiment():
 
 
 def _threshold(rows, gpu_index):
+    # find_offload_threshold compares *seconds* (GPU wins when faster),
+    # so hand it the timing curves directly.
     sizes = [Dims(m, m, m) for m, *_ in rows]
-    flops = [ITERATIONS * flops_for(d) for d in sizes]
-    cpu = [f / r[1] for f, r in zip(flops, rows)]
-    gpu = [f / r[gpu_index] for f, r in zip(flops, rows)]
+    cpu = [r[1] for r in rows]
+    gpu = [r[gpu_index] for r in rows]
     return find_offload_threshold(sizes, cpu, gpu)
 
 
 def test_ext_pipelined_transfer_always(benchmark):
     data = run_once(benchmark, _experiment)
 
-    print(f"\nTransfer-Always, serial vs double-buffered "
+    print("\nTransfer-Always, serial vs double-buffered "
           f"({ITERATIONS} iterations, square SGEMM):")
     csv_rows = [["system", "serial_threshold", "pipelined_threshold",
                  "max_speedup"]]

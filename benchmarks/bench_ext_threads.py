@@ -43,7 +43,7 @@ def _experiment():
 def test_ext_thread_count_sensitivity(benchmark):
     thresholds = run_once(benchmark, _experiment)
 
-    print(f"\nSquare SGEMM Transfer-Once threshold vs CPU thread count "
+    print("\nSquare SGEMM Transfer-Once threshold vs CPU thread count "
           f"({ITERATIONS} iterations):")
     rows = [["system", "threads", "threshold"]]
     for (system, threads), result in thresholds.items():

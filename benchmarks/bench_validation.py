@@ -17,7 +17,6 @@ from repro.blas.blocked import BlockingParams, blocked_gemm
 from repro.core.checksum import checksum, checksums_match
 from repro.core.flops import flops_for, naive_flops
 from repro.core.problem import ALL_PROBLEM_TYPES
-from repro.types import Precision
 
 
 def _validate_pairs() -> list[tuple[str, float, float, bool]]:

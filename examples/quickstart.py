@@ -57,7 +57,7 @@ def main() -> None:
     # 6. Or query one threshold programmatically.
     threshold = threshold_for_series(series, TransferType.ONCE)
     print(
-        f"\nSquare SGEMM Transfer-Once offload threshold on Isambard-AI "
+        "\nSquare SGEMM Transfer-Once offload threshold on Isambard-AI "
         f"(i=8): {threshold}"
     )
     print(

@@ -72,11 +72,21 @@ def solver_advisor() -> None:
                   f"gpu {gpu_s * 1e3:10.2f} ms | {verdict:12s} ({reuse})")
 
 
-if __name__ == "__main__":
+def main() -> int:
     from repro.errors import DeferredFeatureError
 
-    try:
-        kernel_validation()
-        solver_advisor()
+    try:  # probe before printing anything, so the notice stands alone
+        SparseNodeModel(make_model(system_names()[0]))
     except DeferredFeatureError as exc:
-        print(f"sparse extension not available in this build: {exc}")
+        print("SKIPPED: the sparse extension is deferred in this build.")
+        print(f"  ({exc})")
+        print("Dense offload advice is available: see "
+              "examples/offload_advisor.py")
+        return 0
+    kernel_validation()
+    solver_advisor()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,8 @@ Typical use::
 
 from __future__ import annotations
 
+from .backends import backend_names, make_backend
+from .backends.des import DESBackend, DesBackend
 from .backends.host import CombinedBackend, HostCpuBackend
 from .backends.simulated import AnalyticBackend
 from .core.config import RunConfig
@@ -58,6 +60,8 @@ __all__ = [
     "AnalyticBackend",
     "CombinedBackend",
     "CpuSocketSpec",
+    "DESBackend",
+    "DesBackend",
     "DeviceKind",
     "Dims",
     "GpuSpec",
@@ -73,7 +77,9 @@ __all__ = [
     "ThresholdResult",
     "TransferType",
     "UsmSpec",
+    "backend_names",
     "find_offload_threshold",
+    "make_backend",
     "get_system",
     "make_model",
     "register_system",

@@ -79,14 +79,14 @@ def format_report(report: PerfStatReport) -> str:
     """perf-stat-flavoured text block."""
     return "\n".join(
         [
-            f"\n Performance counter stats for "
+            "\n Performance counter stats for "
             f"'{report.kernel} {report.dims} x{report.iterations}':",
-            f"",
+            "",
             f"   {report.elapsed_s:12.6f} sec  elapsed",
             f"   {report.cpus_utilized:12.2f}      CPUs utilized "
             f"({report.threads_engaged} threads engaged)",
             f"   {report.gflops:12.1f}      GFLOP/s sustained",
             f"   {report.ai_flops_per_byte:12.2f}      FLOPs per byte "
-            f"(arithmetic intensity)",
+            "(arithmetic intensity)",
         ]
     )

@@ -1,14 +1,62 @@
-"""Measurement backends: analytic simulation and real host execution."""
+"""Measurement backends: analytic model, discrete-event replay, real host.
 
+Every backend implements the same :class:`~repro.backends.base.Backend`
+interface, so the sweep runner, threshold detector and CSV writers are
+backend-agnostic.  The registry below is what `repro.cli --backend` and
+``run_sweep("des", ...)`` resolve names through.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
 from .base import Backend, PerfSample
+from .des import DESBackend, DesBackend
 from .host import CombinedBackend, HostCpuBackend
-from .simulated import AnalyticBackend, DesBackend
+from .simulated import AnalyticBackend
 
 __all__ = [
     "AnalyticBackend",
     "Backend",
     "CombinedBackend",
+    "DESBackend",
     "DesBackend",
     "HostCpuBackend",
     "PerfSample",
+    "backend_names",
+    "make_backend",
 ]
+
+#: Model-driven backends (need a NodePerfModel) by registry name.
+_MODEL_BACKENDS = {
+    "analytic": AnalyticBackend,
+    "des": DesBackend,
+}
+
+
+def backend_names() -> tuple:
+    """Every name :func:`make_backend` accepts."""
+    return tuple(sorted(_MODEL_BACKENDS)) + ("host",)
+
+
+def make_backend(name: str, model=None, *, system=None, **kwargs) -> Backend:
+    """Build a backend by registry name.
+
+    ``analytic`` and ``des`` need a performance model — pass one as
+    ``model``, or a catalog ``system`` name to build it from; ``host``
+    runs real NumPy kernels on this machine and takes neither.
+    """
+    if name == "host":
+        return HostCpuBackend(**kwargs)
+    cls = _MODEL_BACKENDS.get(name)
+    if cls is None:
+        known = ", ".join(backend_names())
+        raise ConfigError(f"unknown backend {name!r}; known backends: {known}")
+    if model is None:
+        if system is None:
+            raise ConfigError(
+                f"backend {name!r} needs a model: pass model=... or system=..."
+            )
+        from ..systems.catalog import make_model
+
+        model = make_model(system)
+    return cls(model, **kwargs)

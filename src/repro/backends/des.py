@@ -1,0 +1,197 @@
+"""Discrete-event-simulation backend.
+
+Where :class:`~repro.backends.simulated.AnalyticBackend` sums closed
+forms, this backend *replays* every measurement as the explicit command
+sequence GPU-BLOB issues — upload commands on the H2D DMA engine, kernel
+launches on the compute engine, fault-batch migrations for unified
+memory, downloads on the D2H engine — through
+:class:`~repro.sim.engine.EventEngine`.  Both paths price individual
+commands from the same calibrated :class:`~repro.sim.perfmodel.NodePerfModel`
+curves, so on the single-stream schedules the runner issues they must
+agree; the AB1 ablation (`bench_ablation_des.py`) asserts that they do
+and measures the simulation-speed cost of event replay.
+
+By default the USM path uses fractional page accounting
+(``usm_page_granular=False``) so agreement with the closed form is exact
+and the ablation isolates *scheduling*.  Set ``usm_page_granular=True``
+to quantize migrations to whole pages and whole fault batches — the
+driver-realistic mode, which converges to the closed form as the working
+set grows (asserted in ``tests/test_usm_pages.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.flops import d2h_bytes, h2d_bytes
+from ..core.records import PerfSample
+from ..sim.engine import EventEngine
+from ..sim.perfmodel import NodePerfModel
+from ..sim.pipeline import always_iteration_costs
+from ..sim.usm import PageTable
+from ..types import DeviceKind, Dims, Precision, TransferType
+from .base import Backend
+
+__all__ = ["DESBackend", "DesBackend"]
+
+#: Resource names of the simulated node's engines.
+CPU, COMPUTE, H2D, D2H = "cpu", "gpu", "dma-h2d", "dma-d2h"
+
+
+class DesBackend(Backend):
+    """Times problems by replaying command schedules on the DES."""
+
+    def __init__(
+        self,
+        model: NodePerfModel,
+        *,
+        usm_page_granular: bool = False,
+        max_fault_events: int = 64,
+        keep_traces: bool = False,
+    ) -> None:
+        self.model = model
+        self.usm_page_granular = usm_page_granular
+        self.max_fault_events = max_fault_events
+        self.gpu_transfers = tuple(TransferType) if model.has_gpu else ()
+        #: ``(dims, precision, transfer, trace)`` per sample when enabled.
+        self.traces: List[Tuple[Dims, Precision, Optional[TransferType], list]] = []
+        self._keep_traces = keep_traces
+
+    @property
+    def system_name(self) -> str:
+        return self.model.spec.name
+
+    # -- schedule builders --------------------------------------------
+    def _build_once(self, engine, dims, precision, iterations, alpha, beta):
+        up = engine.submit(
+            "h2d",
+            self.model.h2d_time(dims, precision),
+            queue=H2D,
+            resource=H2D,
+            label="h2d[A,B,C]",
+        )
+        kern = self.model.gpu.kernel_time(dims, precision, alpha, beta)
+        last = up
+        for i in range(iterations):
+            deps = (last,) if i == 0 else ()
+            last = engine.submit(
+                "kernel", kern, queue=COMPUTE, resource=COMPUTE, deps=deps,
+                label=f"kernel[{i}]",
+            )
+        engine.submit(
+            "d2h",
+            self.model.d2h_time(dims, precision),
+            queue=D2H,
+            resource=D2H,
+            deps=(last,),
+            label="d2h[C]",
+        )
+
+    def _build_always(self, engine, dims, precision, iterations, alpha, beta):
+        h2d, kern, d2h = always_iteration_costs(
+            self.model, dims, precision, alpha, beta
+        )
+        for i in range(iterations):
+            engine.submit(
+                "h2d", h2d, queue="stream0", resource=H2D, label=f"h2d[{i}]"
+            )
+            engine.submit(
+                "kernel", kern, queue="stream0", resource=COMPUTE,
+                label=f"kernel[{i}]",
+            )
+            engine.submit(
+                "d2h", d2h, queue="stream0", resource=D2H, label=f"d2h[{i}]"
+            )
+
+    def _submit_migration(self, engine, plan, kind, deps=()):
+        """Spread one migration plan over up to ``max_fault_events``
+        DMA commands whose durations sum to the plan's total."""
+        events = max(1, min(int(plan.batches) or 1, self.max_fault_events))
+        slice_s = (plan.fault_s + plan.copy_s) / events
+        last = engine.submit(
+            kind, plan.latency_s + slice_s, queue=H2D, resource=H2D,
+            deps=deps, label=f"{kind}[0/{events}]",
+        )
+        for i in range(1, events):
+            last = engine.submit(
+                kind, slice_s, queue=H2D, resource=H2D,
+                label=f"{kind}[{i}/{events}]",
+            )
+        return last
+
+    def _build_unified(self, engine, dims, precision, iterations, alpha, beta):
+        pages = PageTable(
+            self.model.spec.usm,
+            self.model.spec.link,
+            quantize=self.usm_page_granular,
+        )
+        up = h2d_bytes(dims, precision)
+        down = d2h_bytes(dims, precision)
+        kern = self.model.gpu.kernel_time(dims, precision, alpha, beta)
+        last = self._submit_migration(engine, pages.fault_in(up), "fault")
+        for i in range(iterations):
+            refresh = pages.refresh(up)
+            last = engine.submit(
+                "refresh", refresh.seconds, queue=H2D, resource=H2D,
+                deps=(last,), label=f"refresh[{i}]",
+            )
+            last = engine.submit(
+                "kernel", kern, queue=COMPUTE, resource=COMPUTE,
+                deps=(last,), label=f"kernel[{i}]",
+            )
+        writeback = pages.writeback(down)
+        engine.submit(
+            "writeback", writeback.seconds, queue=D2H, resource=D2H,
+            deps=(last,), label="writeback[C]",
+        )
+
+    # -- Backend interface --------------------------------------------
+    def cpu_sample(
+        self, kernel, dims, precision, iterations, alpha=1.0, beta=0.0
+    ) -> PerfSample:
+        per_iter = (
+            self.model.cpu_time(dims, precision, iterations, alpha=alpha, beta=beta)
+            / iterations
+        )
+        engine = EventEngine()
+        for i in range(iterations):
+            engine.submit("host", per_iter, queue=CPU, resource=CPU,
+                          label=f"host[{i}]")
+        seconds = engine.run()
+        self._record(engine, dims, precision, None)
+        return PerfSample.from_seconds(
+            DeviceKind.CPU, None, dims, iterations, seconds,
+            checksum_ok=True, beta=beta,
+        )
+
+    def gpu_sample(
+        self, kernel, dims, precision, iterations, transfer, alpha=1.0, beta=0.0
+    ) -> Optional[PerfSample]:
+        if not self.model.has_gpu:
+            return None
+        engine = EventEngine()
+        if transfer is TransferType.ONCE:
+            self._build_once(engine, dims, precision, iterations, alpha, beta)
+        elif transfer is TransferType.ALWAYS:
+            self._build_always(engine, dims, precision, iterations, alpha, beta)
+        else:
+            self._build_unified(engine, dims, precision, iterations, alpha, beta)
+        seconds = engine.run()
+        # Same deterministic-noise key the closed-form path uses, so the
+        # two backends stay comparable under a noisy model too.
+        seconds *= self.model.noise.factor(
+            ("gpu", transfer.value, dims.as_tuple(), precision.value, iterations)
+        )
+        self._record(engine, dims, precision, transfer)
+        return PerfSample.from_seconds(
+            DeviceKind.GPU, transfer, dims, iterations, seconds,
+            checksum_ok=True, beta=beta,
+        )
+
+    def _record(self, engine, dims, precision, transfer) -> None:
+        if self._keep_traces:
+            self.traces.append((dims, precision, transfer, list(engine.trace)))
+
+
+#: Preferred public spelling.
+DESBackend = DesBackend

@@ -10,12 +10,12 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.records import PerfSample
-from ..errors import DeferredFeatureError
 from ..sim.perfmodel import NodePerfModel
-from ..types import DeviceKind, Dims, Precision, TransferType
+from ..types import DeviceKind, TransferType
 from .base import Backend
+from .des import DESBackend, DesBackend
 
-__all__ = ["AnalyticBackend", "DesBackend"]
+__all__ = ["AnalyticBackend", "DESBackend", "DesBackend"]
 
 
 class AnalyticBackend(Backend):
@@ -48,16 +48,3 @@ class AnalyticBackend(Backend):
         return PerfSample.from_seconds(
             DeviceKind.GPU, transfer, dims, iterations, seconds,
             checksum_ok=True, beta=beta)
-
-
-class DesBackend(Backend):
-    """Discrete-event-simulation backend — deferred with ``repro.sim.engine``."""
-
-    def __init__(self, *args, **kwargs) -> None:
-        raise DeferredFeatureError(
-            "the discrete-event backend is deferred; use AnalyticBackend "
-            "(repro.sim.engine carries the engine stub)"
-        )
-
-    def cpu_sample(self, *args, **kwargs):  # pragma: no cover - unreachable
-        raise DeferredFeatureError("the discrete-event backend is deferred")

@@ -5,6 +5,7 @@ Examples::
     gpu-blob -i 8 -s 1 -d 4096 --system dawn --step 4 -o results/dawn-i8
     gpu-blob -i 1 -d 4096 --system lumi --cpu-only
     gpu-blob -i 4 -d 256 --backend host --kernel gemm
+    gpu-blob -i 8 -d 512 --system lumi --backend des --step 4
 
 With ``-o`` the per-series CSVs land in the given directory; without it
 the threshold summary table prints to stdout either way.
@@ -16,8 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .backends.host import HostCpuBackend
-from .backends.simulated import AnalyticBackend
+from .backends import backend_names, make_backend
 from .core.config import RunConfig
 from .core.csvio import write_run
 from .core.runner import run_sweep
@@ -82,9 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the GPU side entirely (split-run style)",
     )
     parser.add_argument(
-        "--backend", choices=("analytic", "host"), default="analytic",
-        help="'analytic' evaluates the model; 'host' times real numpy "
-        "kernels on this machine's CPU (default analytic)",
+        "--backend", choices=backend_names(), default="analytic",
+        help="'analytic' evaluates the closed-form model; 'des' replays "
+        "each measurement on the discrete-event engine; 'host' times "
+        "real numpy kernels on this machine's CPU (default analytic)",
+    )
+    parser.add_argument(
+        "--usm-pages", action="store_true",
+        help="with --backend des: quantize unified-memory migration to "
+        "whole pages and fault batches (driver-realistic accounting)",
     )
     parser.add_argument(
         "-o", "--output", metavar="DIR", default=None,
@@ -129,10 +135,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             gpu_enabled=not args.cpu_only,
         )
         if args.backend == "host":
-            backend = HostCpuBackend()
+            backend = make_backend("host")
             system_name = "host"
         else:
-            backend = AnalyticBackend(make_model(args.system))
+            kwargs = (
+                {"usm_page_granular": True}
+                if args.backend == "des" and args.usm_pages
+                else {}
+            )
+            backend = make_backend(
+                args.backend, make_model(args.system), **kwargs
+            )
             system_name = None
         result = run_sweep(backend, config, system_name=system_name)
     except ReproError as exc:

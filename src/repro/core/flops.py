@@ -9,7 +9,7 @@ too), only the output travels back.
 
 from __future__ import annotations
 
-from ..types import Dims, Kernel, Precision
+from ..types import Dims, Precision
 
 __all__ = [
     "arithmetic_intensity",

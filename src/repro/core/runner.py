@@ -40,7 +40,7 @@ class RunResult:
                 return s
         raise KeyError(
             f"no series for ({kernel.value}, {ident!r}, {precision.value}) "
-            f"in this run"
+            "in this run"
         )
 
     def thresholds(
@@ -64,7 +64,17 @@ def run_sweep(
     config: RunConfig,
     system_name: Optional[str] = None,
 ) -> RunResult:
-    """Execute one GPU-BLOB sweep of ``config`` on ``backend``."""
+    """Execute one GPU-BLOB sweep of ``config`` on ``backend``.
+
+    ``backend`` is either a :class:`~repro.backends.base.Backend`
+    instance or a registry name (``"analytic"``, ``"des"``, ``"host"``);
+    a name is resolved through :func:`repro.backends.make_backend`,
+    building the model from ``system_name`` when one is needed.
+    """
+    if isinstance(backend, str):
+        from ..backends import make_backend
+
+        backend = make_backend(backend, system=system_name)
     if system_name is None:
         system_name = getattr(backend, "system_name", None)
     result = RunResult(config=config, system_name=system_name)

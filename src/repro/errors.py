@@ -26,9 +26,10 @@ class UnknownProblemTypeError(ReproError):
 class DeferredFeatureError(ReproError, NotImplementedError):
     """The requested subsystem is documented but not yet restored.
 
-    The discrete-event engine, USM page tables, sparse BLAS, the
-    pipelined Transfer-Always schedule and the multi-tile GPU model are
-    deferred; see the "Restored vs deferred" section of DESIGN.md.
+    Sparse BLAS and the structural multi-tile GPU model are deferred;
+    see the "Restored vs deferred" section of DESIGN.md.  (The
+    discrete-event engine, USM page tables and the pipelined
+    Transfer-Always schedule are live.)
     """
 
     def __init__(self, feature: str) -> None:

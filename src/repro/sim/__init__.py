@@ -1,15 +1,27 @@
-"""Simulation layer: closed-form device models and deterministic noise."""
+"""Simulation layer: closed-form device models, deterministic noise and
+the discrete-event engine (command queues, DMA engines, USM page tables,
+pipelined transfer schedules)."""
 
 from .cpu import CpuModel
+from .engine import Command, EventEngine, TraceEvent
 from .gpu import GpuModel
 from .noise import NO_NOISE, DeterministicNoise, NoiseModel
 from .perfmodel import NodePerfModel
+from .pipeline import pipelined_always_time, serial_always_time
+from .usm import MigrationPlan, PageTable
 
 __all__ = [
+    "Command",
     "CpuModel",
     "DeterministicNoise",
+    "EventEngine",
     "GpuModel",
+    "MigrationPlan",
     "NO_NOISE",
     "NodePerfModel",
     "NoiseModel",
+    "PageTable",
+    "TraceEvent",
+    "pipelined_always_time",
+    "serial_always_time",
 ]

@@ -1,23 +1,201 @@
-"""Discrete-event execution engine — deferred.
+"""Discrete-event execution engine: command queues, DMA and compute engines.
 
-The DES replays each measurement as explicit commands on simulated DMA
-and compute engines.  The closed-form analytic backend covers every
-paper result; the event engine lands with the overlap studies
-(``repro.sim.pipeline``).
+The DES replays each measurement as the explicit command sequence the C++
+benchmark issues — enqueue H2D, launch kernel, enqueue D2H, service USM
+fault batches — instead of summing closed forms.  It is the timing
+substrate of the AB1 ablation (`bench_ablation_des.py`), the pipelined
+Transfer-Always study (`repro.sim.pipeline`) and the
+:class:`repro.backends.des.DesBackend`.
+
+Execution model
+---------------
+
+* A **command** has a fixed duration (taken from the calibrated
+  :class:`~repro.sim.perfmodel.NodePerfModel` curves), lives on one
+  in-order **queue**, executes on one exclusive **resource** (a DMA
+  engine, a compute engine, a CPU socket), and may declare explicit
+  cross-queue **dependencies**.
+* A command starts once the previous command on its queue has completed,
+  every dependency has completed, and its resource is free.  Resources
+  are non-preemptive and granted in submission order (FIFO arbitration).
+* Completions are driven off a monotonic event heap; :meth:`run` raises
+  if the heap would ever run backwards or if dependencies deadlock.
+
+The engine is deterministic: identical submissions always produce the
+identical trace, a property the ablation benchmark asserts.
 """
 
 from __future__ import annotations
 
-from ..errors import DeferredFeatureError
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Tuple
 
-__all__ = ["EventEngine"]
+from ..errors import ReproError
+
+__all__ = ["Command", "EngineDeadlockError", "EventEngine", "TraceEvent"]
 
 
+class EngineDeadlockError(ReproError):
+    """The submitted command graph can make no further progress."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One unit of simulated work on a queue/resource pair."""
+
+    cid: int
+    kind: str
+    queue: str
+    resource: str
+    duration: float
+    deps: Tuple[int, ...] = ()
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """The executed record of one command: where and when it ran."""
+
+    cid: int
+    kind: str
+    queue: str
+    resource: str
+    start: float
+    end: float
+    label: str = ""
+
+
+@dataclass
 class EventEngine:
-    """Placeholder for the discrete-event engine (see DESIGN.md)."""
+    """A monotonic-clock discrete-event simulator of one node."""
 
-    def __init__(self, *args, **kwargs) -> None:
-        raise DeferredFeatureError(
-            "the discrete-event engine is not part of this milestone; "
-            "use repro.backends.simulated.AnalyticBackend"
+    now: float = 0.0
+    trace: List[TraceEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._commands: Dict[int, Command] = {}
+        self._queues: Dict[str, Deque[int]] = {}
+        self._queue_free: Dict[str, float] = {}
+        self._resource_free: Dict[str, float] = {}
+        self._busy: Dict[str, float] = {}
+        self._end_time: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int, int]] = []
+        self._seq = 0
+        self._ran = False
+
+    # -- submission ---------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        duration: float,
+        *,
+        queue: str = "default",
+        resource: str | None = None,
+        deps: Tuple[int, ...] = (),
+        label: str = "",
+    ) -> int:
+        """Enqueue one command; returns its command id for use in deps."""
+        if self._ran:
+            raise ReproError("EventEngine.run() already consumed this engine")
+        if duration < 0.0:
+            raise ReproError(f"command duration must be >= 0, got {duration}")
+        for dep in deps:
+            if dep not in self._commands:
+                raise ReproError(f"dependency on unknown command id {dep}")
+        cid = self._seq
+        self._seq += 1
+        cmd = Command(
+            cid=cid,
+            kind=kind,
+            queue=queue,
+            resource=resource if resource is not None else queue,
+            duration=duration,
+            deps=tuple(deps),
+            label=label,
+        )
+        self._commands[cid] = cmd
+        self._queues.setdefault(queue, deque()).append(cid)
+        return cid
+
+    # -- execution ----------------------------------------------------
+    def _dispatch(self, cmd: Command) -> None:
+        """Schedule one ready command and push its completion event."""
+        start = max(
+            self._queue_free.get(cmd.queue, 0.0),
+            self._resource_free.get(cmd.resource, 0.0),
+            max((self._end_time[d] for d in cmd.deps), default=0.0),
+        )
+        end = start + cmd.duration
+        self._queue_free[cmd.queue] = end
+        self._resource_free[cmd.resource] = end
+        self._busy[cmd.resource] = self._busy.get(cmd.resource, 0.0) + cmd.duration
+        self._end_time[cmd.cid] = end
+        heapq.heappush(self._heap, (end, cmd.cid, cmd.cid))
+        self.trace.append(
+            TraceEvent(
+                cid=cmd.cid,
+                kind=cmd.kind,
+                queue=cmd.queue,
+                resource=cmd.resource,
+                start=start,
+                end=end,
+                label=cmd.label,
+            )
+        )
+
+    def run(self) -> float:
+        """Execute every submitted command; returns the makespan.
+
+        The clock advances strictly monotonically along the completion
+        heap; a cyclic dependency graph raises
+        :class:`EngineDeadlockError` instead of spinning.
+        """
+        self._ran = True
+        remaining = sum(len(q) for q in self._queues.values())
+        while remaining:
+            progressed = False
+            for q in self._queues.values():
+                while q and all(d in self._end_time for d in self._commands[q[0]].deps):
+                    self._dispatch(self._commands[q.popleft()])
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                blocked = [q[0] for q in self._queues.values() if q]
+                raise EngineDeadlockError(
+                    f"dependency deadlock; blocked command ids {blocked}"
+                )
+        while self._heap:
+            end, _, _ = heapq.heappop(self._heap)
+            if end < self.now:
+                raise ReproError(
+                    "event heap ran backwards: completion at "
+                    f"{end} after clock reached {self.now}"
+                )
+            self.now = end
+        return self.now
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Makespan after :meth:`run` (0.0 before)."""
+        return self.now
+
+    def busy_time(self, resource: str) -> float:
+        """Total seconds ``resource`` spent executing commands."""
+        return self._busy.get(resource, 0.0)
+
+    def resources(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._busy))
+
+    def end_of(self, cid: int) -> float:
+        """Completion time of one command (after :meth:`run`)."""
+        return self._end_time[cid]
+
+    def events_on(self, resource: str) -> List[TraceEvent]:
+        """Trace events of one resource, in execution order."""
+        return sorted(
+            (t for t in self.trace if t.resource == resource),
+            key=lambda t: (t.start, t.cid),
         )

@@ -1,25 +1,163 @@
-"""Double-buffered Transfer-Always schedules — deferred.
+"""Transfer-Always schedules on the discrete-event engine.
 
-These require the discrete-event engine (``repro.sim.engine``) to model
-copy/compute overlap; the serialized closed forms live in
-:class:`repro.sim.perfmodel.NodePerfModel`.
+The paper's Transfer-Always serializes ``h2d -> kernel -> d2h`` every
+iteration through one in-order queue, which is why its offload
+thresholds *rise* with data re-use.  This module replays that serialized
+schedule on the DES (it must and does match the closed form in
+:class:`~repro.sim.perfmodel.NodePerfModel`) and builds the overlapped
+alternative: a double-buffered schedule where iteration ``i+1``'s upload
+streams on the H2D DMA engine while kernel ``i`` computes and iteration
+``i-1``'s result drains on the D2H engine.
+
+Buffer re-use is the only extra constraint: with ``buffers`` staging
+buffers, upload ``i`` may not start before download ``i - buffers`` has
+completed.  Because the overlapped dependency graph is a strict
+relaxation of the serial queue order over identical command durations,
+``pipelined_always_time <= serial_always_time`` always holds.
 """
 
 from __future__ import annotations
 
-from ..errors import DeferredFeatureError
+from ..core.flops import d2h_bytes, h2d_bytes
+from ..types import Dims, Precision, TransferType
+from .engine import EventEngine
 
-__all__ = ["pipelined_always_time", "serial_always_time"]
+__all__ = [
+    "always_iteration_costs",
+    "build_pipelined_always",
+    "build_serial_always",
+    "pipelined_always_time",
+    "serial_always_time",
+]
+
+#: Resource/queue names used by the Transfer-Always schedules.
+H2D, D2H, COMPUTE = "dma-h2d", "dma-d2h", "gpu"
 
 
-def serial_always_time(model, dims, precision, iterations: int) -> float:
-    raise DeferredFeatureError(
-        "pipeline schedules are deferred with the discrete-event engine; "
-        "use NodePerfModel.gpu_time(..., transfer=TransferType.ALWAYS)"
+def always_iteration_costs(
+    model,
+    dims: Dims,
+    precision: Precision,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> tuple[float, float, float]:
+    """Per-iteration ``(h2d, kernel, d2h)`` seconds under Transfer-Always.
+
+    Staged copies stream through unpinned bounce buffers, so both
+    directions pay the link latency and the derated staging bandwidth —
+    the same pricing the closed-form paradigm uses.
+    """
+    link = model.spec.link
+    staged_bw = link.bw_gbs * link.staging_bw_scale * 1e9
+    h2d = link.latency_s + h2d_bytes(dims, precision) / staged_bw
+    d2h = link.latency_s + d2h_bytes(dims, precision) / staged_bw
+    kern = model.gpu.kernel_time(dims, precision, alpha, beta)
+    return h2d, kern, d2h
+
+
+def build_serial_always(
+    model,
+    dims: Dims,
+    precision: Precision,
+    iterations: int,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> EventEngine:
+    """The paper's schedule: one in-order queue, fully serialized."""
+    h2d, kern, d2h = always_iteration_costs(model, dims, precision, alpha, beta)
+    engine = EventEngine()
+    for i in range(iterations):
+        engine.submit("h2d", h2d, queue="stream0", resource=H2D, label=f"h2d[{i}]")
+        engine.submit(
+            "kernel", kern, queue="stream0", resource=COMPUTE, label=f"kernel[{i}]"
+        )
+        engine.submit("d2h", d2h, queue="stream0", resource=D2H, label=f"d2h[{i}]")
+    return engine
+
+
+def build_pipelined_always(
+    model,
+    dims: Dims,
+    precision: Precision,
+    iterations: int,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    buffers: int = 2,
+) -> EventEngine:
+    """Double-buffered overlap: three queues, cross-linked by data deps.
+
+    ``kernel[i]`` waits for ``h2d[i]``; ``d2h[i]`` waits for
+    ``kernel[i]``; ``h2d[i]`` waits for ``d2h[i - buffers]`` (staging
+    buffer free).  Each queue stays in-order on its own engine.
+    """
+    if buffers < 1:
+        raise ValueError("pipelining needs at least one staging buffer")
+    h2d, kern, d2h = always_iteration_costs(model, dims, precision, alpha, beta)
+    engine = EventEngine()
+    d2h_ids: list[int] = []
+    for i in range(iterations):
+        up_deps = (d2h_ids[i - buffers],) if i >= buffers else ()
+        up = engine.submit(
+            "h2d", h2d, queue=H2D, resource=H2D, deps=up_deps, label=f"h2d[{i}]"
+        )
+        run = engine.submit(
+            "kernel",
+            kern,
+            queue=COMPUTE,
+            resource=COMPUTE,
+            deps=(up,),
+            label=f"kernel[{i}]",
+        )
+        down = engine.submit(
+            "d2h", d2h, queue=D2H, resource=D2H, deps=(run,), label=f"d2h[{i}]"
+        )
+        d2h_ids.append(down)
+    return engine
+
+
+def _measurement_noise(model, dims, precision, iterations: int) -> float:
+    """The node model's deterministic jitter for this measurement.
+
+    Both schedules replay the *same* Transfer-Always measurement, so
+    they share the closed form's noise key — serial stays bit-comparable
+    to :meth:`NodePerfModel.gpu_time` and the overlap speedup is
+    noise-free.
+    """
+    return model.noise.factor(
+        (
+            "gpu",
+            TransferType.ALWAYS.value,
+            dims.as_tuple(),
+            precision.value,
+            iterations,
+        )
     )
 
 
-def pipelined_always_time(model, dims, precision, iterations: int) -> float:
-    raise DeferredFeatureError(
-        "pipeline schedules are deferred with the discrete-event engine"
+def serial_always_time(
+    model,
+    dims: Dims,
+    precision: Precision,
+    iterations: int,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> float:
+    """Serialized Transfer-Always seconds (DES replay of the closed form)."""
+    engine = build_serial_always(model, dims, precision, iterations, alpha, beta)
+    return engine.run() * _measurement_noise(model, dims, precision, iterations)
+
+
+def pipelined_always_time(
+    model,
+    dims: Dims,
+    precision: Precision,
+    iterations: int,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    buffers: int = 2,
+) -> float:
+    """Double-buffered Transfer-Always seconds on the DES."""
+    engine = build_pipelined_always(
+        model, dims, precision, iterations, alpha, beta, buffers
     )
+    return engine.run() * _measurement_noise(model, dims, precision, iterations)

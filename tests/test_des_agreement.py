@@ -1,0 +1,135 @@
+"""Analytic-vs-DES agreement: the AB1 cross-check as tier-1 tests.
+
+The two backends price commands from the same calibrated curves, so on
+the single-stream schedules the runner issues they must agree — the
+acceptance tolerance is 5%, the observed disagreement is float-sum
+noise (~1e-14).  The hypothesis property drives random problem shapes,
+precisions, re-use counts and paradigms through both paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ALL_PRECISIONS,
+    PAPER_ITERATION_COUNTS,
+    AnalyticBackend,
+    DesBackend,
+    Dims,
+    Precision,
+    RunConfig,
+    TransferType,
+    make_model,
+    run_sweep,
+)
+
+#: Acceptance tolerance for analytic-vs-DES timing agreement.
+AGREEMENT_RTOL = 0.05
+#: What the exact-accounting DES actually achieves (float-sum noise).
+EXACT_RTOL = 1e-9
+
+SYSTEMS = ("dawn", "lumi", "isambard-ai")
+
+_MODELS = {name: make_model(name) for name in SYSTEMS}
+_ANALYTIC = {name: AnalyticBackend(model) for name, model in _MODELS.items()}
+_DES = {name: DesBackend(model) for name, model in _MODELS.items()}
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / a
+
+
+@st.composite
+def problem_dims(draw):
+    """Random GEMM or GEMV ProblemDims in the paper's sweep range."""
+    m = draw(st.integers(min_value=1, max_value=2048))
+    n = draw(st.integers(min_value=1, max_value=2048))
+    k = draw(st.integers(min_value=0, max_value=2048))
+    return Dims(m, n, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dims=problem_dims(),
+    system=st.sampled_from(SYSTEMS),
+    precision=st.sampled_from(ALL_PRECISIONS),
+    iterations=st.sampled_from(PAPER_ITERATION_COUNTS),
+    transfer=st.sampled_from(tuple(TransferType)),
+)
+def test_property_random_problems_agree(dims, system, precision, iterations, transfer):
+    analytic, des = _ANALYTIC[system], _DES[system]
+    cpu_a = analytic.cpu_sample(None, dims, precision, iterations).seconds
+    cpu_d = des.cpu_sample(None, dims, precision, iterations).seconds
+    assert _rel(cpu_a, cpu_d) < EXACT_RTOL < AGREEMENT_RTOL
+    gpu_a = analytic.gpu_sample(None, dims, precision, iterations, transfer).seconds
+    gpu_d = des.gpu_sample(None, dims, precision, iterations, transfer).seconds
+    assert _rel(gpu_a, gpu_d) < EXACT_RTOL < AGREEMENT_RTOL
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("ident", ("square",))
+def test_des_runs_every_table_config(system, ident):
+    """Every Table III/IV config (square GEMM + GEMV, S/D, the paper's
+    five re-use counts, all three paradigms) through both backends."""
+    worst = 0.0
+    for iterations in PAPER_ITERATION_COUNTS:
+        config = RunConfig(
+            min_dim=1, max_dim=1024, iterations=iterations, step=128,
+            problem_idents=(ident,),
+        )
+        analytic = run_sweep(_ANALYTIC[system], config, system_name=system)
+        des = run_sweep(_DES[system], config, system_name=system)
+        for series_a, series_d in zip(analytic.series, des.series):
+            assert series_a.precision is series_d.precision
+            for sample_a, sample_d in zip(
+                series_a.all_samples(), series_d.all_samples()
+            ):
+                assert sample_a.dims == sample_d.dims
+                assert sample_a.transfer == sample_d.transfer
+                worst = max(worst, _rel(sample_a.seconds, sample_d.seconds))
+    assert worst < AGREEMENT_RTOL
+    assert worst < EXACT_RTOL
+
+
+def test_des_backend_is_selectable_by_name():
+    result = run_sweep(
+        "des",
+        RunConfig(min_dim=1, max_dim=64, iterations=1, step=16),
+        system_name="lumi",
+    )
+    assert result.system_name == "lumi"
+    assert len(result.series) == 4
+    for series in result.series:
+        assert series.transfer_types() == tuple(TransferType)
+
+
+def test_des_thresholds_match_analytic_thresholds():
+    """Same timings => the detected offload thresholds agree too."""
+    config = RunConfig(min_dim=1, max_dim=2048, iterations=8, step=32)
+    for system in SYSTEMS:
+        analytic = run_sweep(_ANALYTIC[system], config, system_name=system)
+        des = run_sweep(_DES[system], config, system_name=system)
+        thr_a = analytic.thresholds()
+        thr_d = des.thresholds()
+        assert thr_a.keys() == thr_d.keys()
+        for key, a in thr_a.items():
+            d = thr_d[key]
+            assert a.found == d.found, key
+            if a.found:
+                assert a.dims == d.dims, key
+
+
+def test_des_keeps_traces_on_request():
+    des = DesBackend(_MODELS["lumi"], keep_traces=True)
+    des.gpu_sample(
+        None, Dims(128, 128, 128), Precision.SINGLE, 4, TransferType.UNIFIED
+    )
+    assert len(des.traces) == 1
+    dims, precision, transfer, trace = des.traces[0]
+    kinds = {t.kind for t in trace}
+    assert {"fault", "refresh", "kernel", "writeback"} <= kinds
+    assert transfer is TransferType.UNIFIED
+    assert precision is Precision.SINGLE and dims == Dims(128, 128, 128)

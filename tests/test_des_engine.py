@@ -1,0 +1,143 @@
+"""Unit coverage of the discrete-event engine itself.
+
+Event-heap ordering, in-order queues, resource exclusivity, cross-queue
+dependencies, DMA/compute overlap invariants and deadlock detection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.engine import EngineDeadlockError, EventEngine
+
+
+def test_single_queue_serializes_to_the_sum():
+    engine = EventEngine()
+    for d in (1.0, 2.0, 3.0, 4.0):
+        engine.submit("host", d, queue="q")
+    assert engine.run() == pytest.approx(10.0)
+    starts = [t.start for t in engine.trace]
+    ends = [t.end for t in engine.trace]
+    assert starts == [0.0, 1.0, 3.0, 6.0]
+    assert ends == [1.0, 3.0, 6.0, 10.0]
+
+
+def test_completion_events_pop_in_monotonic_time_order():
+    engine = EventEngine()
+    # Durations deliberately submitted long-first across queues so the
+    # completion heap must reorder them.
+    engine.submit("a", 5.0, queue="q1")
+    engine.submit("b", 1.0, queue="q2")
+    engine.submit("c", 2.0, queue="q3")
+    engine.run()
+    ends = sorted(t.end for t in engine.trace)
+    assert ends == [1.0, 2.0, 5.0]
+    assert engine.elapsed == 5.0
+
+
+def test_independent_queues_overlap():
+    engine = EventEngine()
+    for q in ("dma", "gpu"):
+        engine.submit("work", 3.0, queue=q)
+    assert engine.run() == pytest.approx(3.0)  # not 6.0
+
+
+def test_shared_resource_is_exclusive_across_queues():
+    engine = EventEngine()
+    engine.submit("h2d", 2.0, queue="q1", resource="dma")
+    engine.submit("d2h", 2.0, queue="q2", resource="dma")
+    assert engine.run() == pytest.approx(4.0)
+    assert engine.busy_time("dma") == pytest.approx(4.0)
+
+
+def test_cross_queue_dependency_delays_start():
+    engine = EventEngine()
+    up = engine.submit("h2d", 2.0, queue="dma")
+    kern = engine.submit("kernel", 3.0, queue="gpu", deps=(up,))
+    engine.submit("d2h", 1.0, queue="dma", deps=(kern,))
+    assert engine.run() == pytest.approx(6.0)
+    assert engine.end_of(up) == pytest.approx(2.0)
+    assert engine.end_of(kern) == pytest.approx(5.0)
+
+
+def test_dma_compute_overlap_invariants():
+    """Pipelined 3-stage schedule: makespan is bounded below by every
+    single engine's busy time and above by the serialized sum."""
+    engine = EventEngine()
+    h2d, kern, d2h = 2.0, 3.0, 1.0
+    downs = []
+    for i in range(8):
+        deps = (downs[i - 2],) if i >= 2 else ()
+        up = engine.submit("h2d", h2d, queue="h2d", deps=deps)
+        run = engine.submit("kernel", kern, queue="gpu", deps=(up,))
+        downs.append(engine.submit("d2h", d2h, queue="d2h", deps=(run,)))
+    makespan = engine.run()
+    serial = 8 * (h2d + kern + d2h)
+    assert makespan < serial
+    for resource in ("h2d", "gpu", "d2h"):
+        assert makespan >= engine.busy_time(resource)
+    # Steady state is compute-bound here: h2d fill + 8 kernels + d2h drain.
+    assert makespan == pytest.approx(h2d + 8 * kern + d2h)
+    # No two commands ever overlap on the same engine.
+    for resource in engine.resources():
+        events = engine.events_on(resource)
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.start >= prev.end
+
+
+def test_deterministic_replay():
+    def build():
+        engine = EventEngine()
+        downs = []
+        for i in range(5):
+            deps = (downs[i - 1],) if i >= 1 else ()
+            up = engine.submit("h2d", 1.5, queue="h2d", deps=deps)
+            run = engine.submit("kernel", 2.5, queue="gpu", deps=(up,))
+            downs.append(engine.submit("d2h", 0.5, queue="d2h", deps=(run,)))
+        engine.run()
+        return engine
+
+    first, second = build(), build()
+    assert first.elapsed == second.elapsed
+    assert first.trace == second.trace
+
+
+def test_unknown_dependency_rejected_so_graphs_stay_acyclic():
+    # Deps may only reference already-submitted commands, which makes
+    # every submittable graph a DAG by construction.
+    with pytest.raises(ReproError):
+        EventEngine().submit("x", 1.0, deps=(42,))
+
+
+def test_cross_queue_dependency_chains_resolve():
+    engine = EventEngine()
+    first = engine.submit("a", 1.0, queue="q1")
+    second = engine.submit("b", 1.0, queue="q2", deps=(first,))
+    engine.submit("c", 1.0, queue="q1", deps=(second,))
+    assert engine.run() == pytest.approx(3.0)
+
+
+def test_dependency_deadlock_raises():
+    # The public API cannot build a cycle (see above), so exercise the
+    # defensive detector white-box with a self-dependent command.
+    from repro.sim.engine import Command
+
+    engine = EventEngine()
+    cid = engine.submit("a", 1.0, queue="q1")
+    engine._commands[cid] = Command(
+        cid=cid, kind="a", queue="q1", resource="q1", duration=1.0,
+        deps=(cid,), label="self-dep",
+    )
+    with pytest.raises(EngineDeadlockError):
+        engine.run()
+
+
+def test_rejects_negative_duration_and_double_run():
+    engine = EventEngine()
+    with pytest.raises(ReproError):
+        engine.submit("bad", -1.0)
+    engine.submit("ok", 1.0)
+    engine.run()
+    with pytest.raises(ReproError):
+        engine.submit("late", 1.0)

@@ -123,15 +123,20 @@ def test_invariant_isambard_has_lowest_gemm_thresholds(sweeps, i):
 
 
 def test_deferred_modules_import_but_refuse_to_run():
-    from repro.backends.simulated import DesBackend
     from repro.sim.multitile import MultiTileGpu
     from repro.sparse import SparseNodeModel, spmv_csr
 
-    with pytest.raises(DeferredFeatureError):
-        DesBackend(make_model("dawn"))
     with pytest.raises(DeferredFeatureError):
         MultiTileGpu(None, None)
     with pytest.raises(DeferredFeatureError):
         SparseNodeModel(make_model("dawn"))
     with pytest.raises(DeferredFeatureError):
         spmv_csr(None, None, None)
+
+
+def test_des_backend_is_no_longer_deferred():
+    from repro.backends.simulated import DesBackend
+
+    backend = DesBackend(make_model("dawn"))
+    assert backend.has_gpu
+    assert backend.system_name == "dawn"

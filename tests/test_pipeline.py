@@ -1,0 +1,104 @@
+"""Serial and double-buffered Transfer-Always schedules on the DES."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dims, Precision, TransferType, make_model
+from repro.sim.pipeline import (
+    always_iteration_costs,
+    build_pipelined_always,
+    pipelined_always_time,
+    serial_always_time,
+)
+
+SYSTEMS = ("dawn", "lumi", "isambard-ai")
+DIMS = (Dims(32, 32, 32), Dims(256, 256, 256), Dims(1024, 1024, 1024),
+        Dims(512, 64, 2048), Dims(2048, 2048))
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_serial_schedule_matches_the_closed_form(system):
+    model = make_model(system)
+    for dims in DIMS:
+        for iterations in (1, 8, 32):
+            des = serial_always_time(model, dims, Precision.SINGLE, iterations)
+            closed = model.gpu_time(
+                dims, Precision.SINGLE, iterations, TransferType.ALWAYS
+            )
+            assert des == pytest.approx(closed, rel=1e-12)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_pipelining_never_loses_and_overlaps_in_steady_state(system):
+    model = make_model(system)
+    for dims in DIMS:
+        for iterations in (1, 2, 8, 32):
+            serial = serial_always_time(model, dims, Precision.SINGLE, iterations)
+            piped = pipelined_always_time(model, dims, Precision.SINGLE, iterations)
+            # A relaxation of the serial queue order can never be slower.
+            assert piped <= serial * (1 + 1e-9)
+            # Nor can the raw (noise-free) makespan beat the busiest
+            # single engine.
+            raw = build_pipelined_always(
+                model, dims, Precision.SINGLE, iterations
+            ).run()
+            h2d, kern, d2h = always_iteration_costs(model, dims, Precision.SINGLE)
+            assert raw >= iterations * max(h2d, kern, d2h) * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_one_iteration_has_nothing_to_overlap(system):
+    model = make_model(system)
+    dims = Dims(512, 512, 512)
+    serial = serial_always_time(model, dims, Precision.SINGLE, 1)
+    piped = pipelined_always_time(model, dims, Precision.SINGLE, 1)
+    assert piped == pytest.approx(serial, rel=1e-12)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_overlap_buys_a_real_factor_somewhere(system):
+    model = make_model(system)
+    best = max(
+        serial_always_time(model, Dims(m, m, m), Precision.SINGLE, 32)
+        / pipelined_always_time(model, Dims(m, m, m), Precision.SINGLE, 32)
+        for m in range(64, 2049, 128)
+    )
+    assert best > 1.3
+
+
+def test_steady_state_is_bound_by_the_slowest_stage():
+    """With many iterations the pipeline rate approaches
+    1 / max(stage) per iteration — the classic throughput bound."""
+    model = make_model("lumi")
+    dims = Dims(768, 768, 768)
+    iterations = 64
+    h2d, kern, d2h = always_iteration_costs(model, dims, Precision.SINGLE)
+    piped = pipelined_always_time(model, dims, Precision.SINGLE, iterations)
+    bottleneck = max(h2d, kern, d2h)
+    assert piped == pytest.approx(
+        iterations * bottleneck, rel=(h2d + kern + d2h) / (8 * bottleneck)
+    )
+
+
+def test_double_buffering_limits_uploads_ahead():
+    """h2d[i] must wait for d2h[i-2]: uploads never run more than two
+    buffers ahead of the drained results."""
+    model = make_model("dawn")
+    engine = build_pipelined_always(
+        model, Dims(256, 256, 256), Precision.SINGLE, 16, buffers=2
+    )
+    engine.run()
+    uploads = [t for t in engine.trace if t.kind == "h2d"]
+    downloads = [t for t in engine.trace if t.kind == "d2h"]
+    for i, up in enumerate(uploads):
+        if i >= 2:
+            assert up.start >= downloads[i - 2].end
+
+
+def test_rejects_zero_buffers():
+    model = make_model("dawn")
+    with pytest.raises(ValueError):
+        pipelined_always_time(
+            model, Dims(64, 64, 64), Precision.SINGLE, 4, buffers=0
+        )

@@ -1,0 +1,96 @@
+"""Page-table residency accounting and closed-form convergence."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import AnalyticBackend, DesBackend, Dims, Precision, TransferType, make_model
+from repro.sim.usm import PageTable
+from repro.systems.specs import LinkSpec, UsmSpec
+
+USM = UsmSpec()
+LINK = LinkSpec(name="test-link", bw_gbs=50.0, latency_s=5e-6)
+
+
+def test_quantized_residency_accounting():
+    pt = PageTable(USM, LINK)
+    plan = pt.fault_in(10 * USM.page_bytes + 1)  # spills into an 11th page
+    assert plan.pages == 11
+    assert plan.batches == 1  # 11 pages fit one 16-page fault batch
+    assert plan.bytes_moved == 11 * USM.page_bytes
+    assert pt.resident_pages == 11
+    assert pt.resident_bytes == 11 * USM.page_bytes
+
+    big = pt.fault_in(40 * USM.page_bytes)
+    assert big.batches == math.ceil(40 / USM.pages_per_fault)
+    assert pt.resident_pages == 51
+    assert pt.faults_serviced == 1 + big.batches
+
+    pt.writeback(3 * USM.page_bytes)
+    assert pt.pages_written_back == 3
+    assert pt.resident_pages == 51  # writeback migrates, doesn't evict
+
+    freed = pt.release(7 * USM.page_bytes)
+    assert freed == 7
+    assert pt.resident_pages == 44
+
+
+def test_refresh_prices_the_host_churn_fraction():
+    pt = PageTable(USM, LINK)
+    nbytes = 1000 * USM.page_bytes
+    plan = pt.refresh(nbytes)
+    assert plan.pages == math.ceil(USM.iter_refresh_fraction * 1000)
+    assert plan.fault_s == USM.iter_fault_s
+    # Refresh streams at the *full* link bandwidth, not the derated
+    # migration bandwidth.
+    assert plan.copy_s == pytest.approx(
+        plan.bytes_moved / (LINK.bw_gbs * 1e9)
+    )
+    assert pt.pages_refreshed == plan.pages
+
+
+def test_fractional_mode_reproduces_the_closed_form_exactly():
+    """PageTable(quantize=False) phases sum to NodePerfModel's USM time."""
+    from repro.sim.noise import NO_NOISE
+
+    model = make_model("lumi", noise=NO_NOISE)
+    pt = PageTable(model.spec.usm, model.spec.link, quantize=False)
+    dims, precision, iterations = Dims(777, 777, 777), Precision.DOUBLE, 8
+
+    from repro.core.flops import d2h_bytes, h2d_bytes
+
+    up, down = h2d_bytes(dims, precision), d2h_bytes(dims, precision)
+    kern = model.kernel_time(dims, precision)
+    total = pt.fault_in(up).seconds
+    for _ in range(iterations):
+        total += pt.refresh(up).seconds + kern
+    total += pt.writeback(down).seconds
+
+    closed = model.gpu_time(dims, precision, iterations, TransferType.UNIFIED)
+    assert total == pytest.approx(closed, rel=1e-12)
+
+
+@pytest.mark.parametrize("system", ("dawn", "lumi", "isambard-ai"))
+def test_page_granular_cost_converges_to_the_closed_form(system):
+    """Whole-page quantization converges to the analytic USM model."""
+    model = make_model(system)
+    analytic = AnalyticBackend(model)
+    granular = DesBackend(model, usm_page_granular=True)
+
+    def rel_diff(m: int) -> float:
+        dims = Dims(m, m, m)
+        a = analytic.gpu_sample(
+            None, dims, Precision.SINGLE, 8, TransferType.UNIFIED
+        ).seconds
+        g = granular.gpu_sample(
+            None, dims, Precision.SINGLE, 8, TransferType.UNIFIED
+        ).seconds
+        return abs(a - g) / a
+
+    assert rel_diff(64) < 0.10
+    assert rel_diff(256) < 0.005
+    assert rel_diff(2048) < 1e-4
+    # ...and the error genuinely shrinks with the working set.
+    assert rel_diff(2048) < rel_diff(64)
