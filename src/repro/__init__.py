@@ -23,12 +23,14 @@ from .backends.des import DESBackend, DesBackend
 from .backends.host import CombinedBackend, HostCpuBackend
 from .backends.simulated import AnalyticBackend
 from .core.config import RunConfig
-from .core.runner import RunResult, run_sweep
+from .core.records import PerfSample, ProblemSeries, QuarantineEntry
+from .core.runner import RetryPolicy, RunResult, SweepStats, run_sweep
 from .core.threshold import (
     ThresholdResult,
     find_offload_threshold,
     threshold_for_series,
 )
+from .faults import FaultInjector, FaultKind, FaultPlan
 from .systems.catalog import (
     get_system,
     make_model,
@@ -64,15 +66,23 @@ __all__ = [
     "DesBackend",
     "DeviceKind",
     "Dims",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "GpuSpec",
     "HostCpuBackend",
     "Kernel",
     "LinkSpec",
     "MatrixEngineSpec",
     "PAPER_ITERATION_COUNTS",
+    "PerfSample",
     "Precision",
+    "ProblemSeries",
+    "QuarantineEntry",
+    "RetryPolicy",
     "RunConfig",
     "RunResult",
+    "SweepStats",
     "SystemSpec",
     "ThresholdResult",
     "TransferType",

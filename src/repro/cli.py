@@ -6,8 +6,12 @@ Examples::
     gpu-blob -i 1 -d 4096 --system lumi --cpu-only
     gpu-blob -i 4 -d 256 --backend host --kernel gemm
     gpu-blob -i 8 -d 512 --system lumi --backend des --step 4
+    gpu-blob -i 8 -d 512 --system lumi --faults --fault-rate 0.3 \
+        --max-retries 2 --checkpoint ck.jsonl -o results/chaos
+    gpu-blob -i 8 -d 512 --system lumi --checkpoint ck.jsonl --resume
 
-With ``-o`` the per-series CSVs land in the given directory; without it
+With ``-o`` the per-series CSVs land in the given directory (plus a
+``quarantine.json`` report when samples were quarantined); without it
 the threshold summary table prints to stdout either way.
 """
 
@@ -20,9 +24,10 @@ from typing import List, Optional
 from .backends import backend_names, make_backend
 from .core.config import RunConfig
 from .core.csvio import write_run
-from .core.runner import run_sweep
+from .core.runner import RetryPolicy, run_sweep
 from .core.tables import run_summary
 from .errors import ReproError
+from .faults import FaultPlan
 from .systems.catalog import make_model, system_names
 from .types import ALL_PRECISIONS, Kernel, Precision, TransferType
 
@@ -92,6 +97,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --backend des: quantize unified-memory migration to "
         "whole pages and fault batches (driver-realistic accounting)",
     )
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--faults", action="store_true",
+        help="inject deterministic, seeded faults (transient kernel/DMA "
+        "failures, hangs, ECC slowdowns) into the sweep",
+    )
+    resilience.add_argument(
+        "--fault-rate", type=float, default=0.05, metavar="R",
+        help="per-sample-attempt probability of each transient fault "
+        "kind under --faults (default 0.05)",
+    )
+    resilience.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed of the fault plan; same seed, same faults (default 0)",
+    )
+    resilience.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="per-sample retries with exponential backoff before the "
+        "cell is quarantined (default 3)",
+    )
+    resilience.add_argument(
+        "--sample-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-sample simulated-clock deadline; overruns are retried "
+        "like transient faults (default: none)",
+    )
+    resilience.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal every completed sample to a JSONL checkpoint",
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="replay completed samples from --checkpoint instead of "
+        "re-running them",
+    )
     parser.add_argument(
         "-o", "--output", metavar="DIR", default=None,
         help="write per-series CSVs into DIR",
@@ -147,16 +186,53 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.backend, make_model(args.system), **kwargs
             )
             system_name = None
-        result = run_sweep(backend, config, system_name=system_name)
+        if args.resume and not args.checkpoint:
+            raise ReproError("--resume needs --checkpoint PATH")
+        faults = (
+            FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+            if args.faults
+            else None
+        )
+        retry = RetryPolicy(
+            max_retries=args.max_retries,
+            sample_timeout_s=args.sample_timeout,
+            seed=args.fault_seed,
+        )
+        result = run_sweep(
+            backend, config, system_name=system_name,
+            faults=faults, retry=retry,
+            checkpoint=args.checkpoint, resume=args.resume,
+        )
     except ReproError as exc:
         print(f"gpu-blob: error: {exc}", file=sys.stderr)
         return 2
     if args.output:
         paths = write_run(result, args.output)
-        print(f"wrote {len(paths)} series CSV(s) to {args.output}")
+        print(f"wrote {len(paths)} file(s) to {args.output}")
     if not args.quiet:
         print(run_summary(result))
+        _print_resilience_report(result)
     return 0
+
+
+def _print_resilience_report(result) -> None:
+    """One line per resilience event, after the summary table."""
+    stats = result.stats
+    if stats.resumed_samples:
+        print(f"resumed {stats.resumed_samples} sample(s) from checkpoint")
+    if stats.retries:
+        print(
+            f"retried {stats.retries} time(s); "
+            f"{stats.backoff_s:.2f}s simulated backoff"
+        )
+    if result.degraded:
+        print("sweep degraded to the analytic fallback backend")
+    if result.device_lost:
+        print("GPU device lost mid-sweep; finished CPU-only")
+    if result.quarantine:
+        print(f"quarantined {len(result.quarantine)} sample(s):")
+        for entry in result.quarantine:
+            print(f"  - {entry}")
 
 
 if __name__ == "__main__":

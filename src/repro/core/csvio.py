@@ -3,12 +3,15 @@
 One file per (precision, kernel, problem type) series, named like the
 GPU-BLOB artifact's outputs (``sgemm_square_i8.csv``), with one row per
 timed sample.  ``read_samples``/``read_run_dir`` round-trip everything
-``write_run`` produces.
+``write_run`` produces.  Runs with a non-empty quarantine list also get
+a ``quarantine.json`` report, so partial sweeps are auditable from the
+output directory alone.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import List, Optional
 
@@ -17,12 +20,16 @@ from .records import PerfSample, ProblemSeries
 
 __all__ = [
     "FIELDNAMES",
+    "QUARANTINE_FILENAME",
     "read_samples",
     "read_run_dir",
     "series_filename",
+    "write_quarantine",
     "write_run",
     "write_series",
 ]
+
+QUARANTINE_FILENAME = "quarantine.json"
 
 FIELDNAMES = (
     "device", "transfer", "kernel", "problem_type",
@@ -62,14 +69,27 @@ def write_series(series: ProblemSeries, path) -> Path:
     return path
 
 
+def write_quarantine(result, path) -> Path:
+    """JSON report of every quarantined cell of a run."""
+    path = Path(path)
+    path.write_text(json.dumps(result.quarantine_report(), indent=2) + "\n")
+    return path
+
+
 def write_run(result, directory) -> List[Path]:
-    """Write every series of a run; returns the files written."""
+    """Write every series of a run (plus a ``quarantine.json`` report
+    when the run quarantined samples); returns the files written."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    return [
+    paths = [
         write_series(series, directory / series_filename(series))
         for series in result.series
     ]
+    if getattr(result, "quarantine", None):
+        paths.append(
+            write_quarantine(result, directory / QUARANTINE_FILENAME)
+        )
+    return paths
 
 
 def _parse_sample(row: dict) -> PerfSample:

@@ -9,7 +9,7 @@ from ..types import DeviceKind, Dims, Kernel, Precision, TransferType
 from .flops import flops_for
 from .problem import ProblemType
 
-__all__ = ["PerfSample", "ProblemSeries"]
+__all__ = ["PerfSample", "ProblemSeries", "QuarantineEntry"]
 
 
 @dataclass(frozen=True)
@@ -43,16 +43,47 @@ class PerfSample:
         return cls(device, transfer, dims, iterations, seconds, gflops, checksum_ok)
 
 
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One sweep cell that exhausted its retries (or hit a permanent
+    fault) and was excluded from the series instead of crashing the run."""
+
+    kernel: Kernel
+    ident: str
+    precision: Precision
+    device: DeviceKind
+    transfer: Optional[TransferType]
+    dims: Dims
+    iterations: int
+    attempts: int
+    error: str
+    message: str
+
+    def __str__(self) -> str:
+        where = self.transfer.value if self.transfer else self.device.value
+        return (
+            f"{self.precision.blas_prefix}{self.kernel.value}:{self.ident} "
+            f"{self.dims} [{where}] after {self.attempts} attempt(s): "
+            f"{self.error}: {self.message}"
+        )
+
+
 @dataclass
 class ProblemSeries:
     """All samples of one (kernel, problem type, precision, iterations)
-    sweep, grouped by device and transfer paradigm."""
+    sweep, grouped by device and transfer paradigm.
+
+    ``partial`` is set by the resilient runner when the sweep could not
+    fill every requested cell — quarantined samples or device loss —
+    so downstream consumers can distrust thresholds over gaps.
+    """
 
     problem_type: ProblemType
     precision: Precision
     iterations: int
     cpu: List[PerfSample] = field(default_factory=list)
     gpu: Dict[TransferType, List[PerfSample]] = field(default_factory=dict)
+    partial: bool = False
 
     @property
     def kernel(self) -> Kernel:

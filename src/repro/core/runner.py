@@ -1,23 +1,116 @@
-"""The sweep runner: GPU-BLOB's main loop over a backend.
+"""The sweep runner: GPU-BLOB's main loop over a backend, made resilient.
 
 For every (problem type, precision) pair in the config the runner walks
 the sweep parameters in ascending order, samples the CPU and then the
 GPU under each transfer paradigm, and collects the timings into one
 :class:`~repro.core.records.ProblemSeries` — the unit the threshold
 detector and all tables/figures consume.
+
+Unlike a lab-bench loop, ``run_sweep`` assumes samples can *fail* the
+way they do on real HPC queues (see :mod:`repro.faults`):
+
+* transient faults (kernel failures, DMA errors, deadline overruns) are
+  retried up to :attr:`RetryPolicy.max_retries` times with exponential
+  backoff and deterministic jitter, tracked on a simulated clock;
+* cells that exhaust their retries land on the run's quarantine list
+  instead of crashing the sweep;
+* an unexpected backend exception (a DES engine bug, say) degrades the
+  sweep to a fallback backend — by default the analytic model behind a
+  failing DES backend — and flags the result ``degraded``;
+* :class:`~repro.errors.DeviceLostError` is permanent: the sweep
+  finishes CPU-only and every series with missing GPU cells is flagged
+  ``partial``.
+
+With ``checkpoint=`` the runner journals every completed cell to an
+append-only JSONL file (:mod:`repro.faults.checkpoint`); ``resume=True``
+replays the journal so an interrupted sweep continues — and finishes
+byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..types import Kernel, Precision, TransferType
+from ..errors import (
+    RETRYABLE_ERRORS,
+    DeviceLostError,
+    PartialSweepWarning,
+    ReproError,
+    SampleTimeoutError,
+)
+from ..faults.checkpoint import (
+    CheckpointReader,
+    CheckpointWriter,
+    sample_key,
+)
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..types import DeviceKind, Kernel, Precision, TransferType
 from .config import RunConfig
-from .records import ProblemSeries
+from .records import PerfSample, ProblemSeries, QuarantineEntry
 from .threshold import ThresholdResult, threshold_for_series
 
-__all__ = ["RunResult", "run_sweep"]
+__all__ = ["RetryPolicy", "RunResult", "SweepStats", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner reacts to per-sample failures.
+
+    Backoff is *simulated* — the runner never sleeps; it accumulates the
+    would-be wait on :attr:`SweepStats.backoff_s` so chaos sweeps stay
+    fast and deterministic.  ``sample_timeout_s`` is a per-sample
+    deadline against the sample's simulated seconds: overruns raise
+    :class:`~repro.errors.SampleTimeoutError` and are retried like any
+    transient fault (a hung sample redraws its faults on retry).
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    sample_timeout_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ConfigError("backoff must be non-negative and non-shrinking")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.sample_timeout_s is not None and self.sample_timeout_s <= 0:
+            raise ConfigError(
+                f"sample_timeout_s must be > 0, got {self.sample_timeout_s}"
+            )
+
+    def backoff_s(self, attempt: int, key: tuple) -> float:
+        """Simulated wait before retry ``attempt`` (1-based), with
+        deterministic jitter keyed like the fault plan."""
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter == 0.0:
+            return base
+        from ..faults.plan import _unit
+
+        unit = _unit((self.seed, "backoff", attempt) + tuple(key))
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one resilient sweep (excluded from equality, so a
+    resumed run still compares equal to an uninterrupted one)."""
+
+    retries: int = 0
+    backoff_s: float = 0.0
+    resumed_samples: int = 0
+    fallback_samples: int = 0
 
 
 @dataclass
@@ -27,6 +120,26 @@ class RunResult:
     config: RunConfig
     system_name: Optional[str] = None
     series: List[ProblemSeries] = field(default_factory=list)
+    #: cells that exhausted retries (or died with the device) — excluded
+    #: from their series, listed here instead of crashing the sweep
+    quarantine: List[QuarantineEntry] = field(default_factory=list)
+    #: requested transfer paradigms the backend could not measure
+    skipped_transfers: Tuple[TransferType, ...] = ()
+    #: True once the sweep switched to the fallback backend
+    degraded: bool = False
+    #: True once the GPU was lost and the sweep continued CPU-only
+    device_lost: bool = False
+    stats: SweepStats = field(default_factory=SweepStats, compare=False)
+
+    @property
+    def complete(self) -> bool:
+        """No quarantined, skipped, or device-lost cells anywhere."""
+        return not (
+            self.quarantine
+            or self.skipped_transfers
+            or self.device_lost
+            or any(s.partial for s in self.series)
+        )
 
     def series_for(
         self, kernel: Kernel, ident: str, precision: Precision
@@ -58,11 +171,143 @@ class RunResult:
                 )
         return out
 
+    def quarantine_report(self) -> List[dict]:
+        """JSON-serializable view of the quarantine list."""
+        return [
+            {
+                "kernel": e.kernel.value,
+                "ident": e.ident,
+                "precision": e.precision.value,
+                "device": e.device.value,
+                "transfer": e.transfer.value if e.transfer else None,
+                "dims": list(e.dims.as_tuple()),
+                "iterations": e.iterations,
+                "attempts": e.attempts,
+                "error": e.error,
+                "message": e.message,
+            }
+            for e in self.quarantine
+        ]
+
+
+def _derive_fallback(backend):
+    """The graceful-degradation target: a failing DES backend falls back
+    to the analytic model it was built from."""
+    from ..backends.des import DesBackend
+    from ..backends.simulated import AnalyticBackend
+
+    inner = backend.inner if isinstance(backend, FaultInjector) else backend
+    if isinstance(inner, DesBackend):
+        return AnalyticBackend(inner.model)
+    return None
+
+
+class _SweepState:
+    """Mutable per-sweep machinery shared by every cell."""
+
+    def __init__(self, backend, fallback, retry: RetryPolicy,
+                 writer: Optional[CheckpointWriter], result: RunResult):
+        self.backend = backend
+        self.fallback = fallback
+        self.retry = retry
+        self.writer = writer
+        self.result = result
+        self.gpu_lost = False
+
+    def _quarantine(self, entry: QuarantineEntry) -> None:
+        self.result.quarantine.append(entry)
+        if self.writer is not None:
+            self.writer.quarantine(entry)
+        warnings.warn(
+            f"quarantined sweep cell: {entry}", PartialSweepWarning,
+            stacklevel=4,
+        )
+
+    def _degrade(self, exc: Exception) -> None:
+        self.backend = self.fallback
+        self.fallback = None
+        self.result.degraded = True
+        if self.writer is not None:
+            self.writer.event("degraded", f"{type(exc).__name__}: {exc}")
+        warnings.warn(
+            f"backend failed ({type(exc).__name__}: {exc}); continuing on "
+            "the analytic fallback — series are flagged degraded",
+            PartialSweepWarning, stacklevel=5,
+        )
+
+    def _lose_device(self, exc: DeviceLostError) -> None:
+        self.gpu_lost = True
+        self.result.device_lost = True
+        if self.writer is not None:
+            self.writer.event("device-lost", str(exc))
+        warnings.warn(
+            f"GPU device lost ({exc}); finishing the sweep CPU-only — "
+            "series with missing GPU cells are flagged partial",
+            PartialSweepWarning, stacklevel=5,
+        )
+
+    def sample_cell(self, fn, key: tuple, make_entry) -> Optional[PerfSample]:
+        """Sample one cell under the retry policy.
+
+        ``fn(backend)`` produces the sample; ``make_entry(attempts, exc)``
+        builds the quarantine entry if the cell is abandoned.  Returns
+        the sample, or None when the cell was quarantined or the device
+        was lost (``self.gpu_lost`` distinguishes the two).
+        """
+        retry = self.retry
+        attempt = 0
+        last_exc: Optional[Exception] = None
+        while attempt <= retry.max_retries:
+            try:
+                sample = fn(self.backend)
+                if (
+                    sample is not None
+                    and retry.sample_timeout_s is not None
+                    and sample.seconds > retry.sample_timeout_s
+                ):
+                    raise SampleTimeoutError(
+                        f"sample took {sample.seconds:.3g}s of simulated "
+                        f"time (deadline {retry.sample_timeout_s:.3g}s)",
+                        elapsed_s=sample.seconds,
+                    )
+                if self.result.degraded:
+                    self.result.stats.fallback_samples += 1
+                return sample
+            except RETRYABLE_ERRORS as exc:
+                last_exc = exc
+                attempt += 1
+                if attempt <= retry.max_retries:
+                    self.result.stats.retries += 1
+                    self.result.stats.backoff_s += retry.backoff_s(
+                        attempt, key
+                    )
+            except DeviceLostError as exc:
+                self._lose_device(exc)
+                self._quarantine(make_entry(attempt + 1, exc))
+                return None
+            except ReproError:
+                raise  # configuration-class errors are real bugs
+            except Exception as exc:  # unexpected backend failure
+                if self.fallback is not None:
+                    self._degrade(exc)
+                    continue  # re-attempt this cell on the fallback
+                last_exc = exc
+                attempt += 1
+                break
+        self._quarantine(make_entry(attempt, last_exc))
+        return None
+
 
 def run_sweep(
     backend,
     config: RunConfig,
     system_name: Optional[str] = None,
+    *,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    fallback=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> RunResult:
     """Execute one GPU-BLOB sweep of ``config`` on ``backend``.
 
@@ -70,43 +315,185 @@ def run_sweep(
     instance or a registry name (``"analytic"``, ``"des"``, ``"host"``);
     a name is resolved through :func:`repro.backends.make_backend`,
     building the model from ``system_name`` when one is needed.
+
+    Keyword options turn on the resilience machinery (all default off,
+    in which case the sweep behaves exactly like the classic loop):
+
+    ``faults``
+        a :class:`~repro.faults.plan.FaultPlan` to wrap ``backend`` in a
+        :class:`~repro.faults.injector.FaultInjector` (no-op if the
+        backend already is one).
+    ``retry``
+        a :class:`RetryPolicy`; defaults to ``RetryPolicy()`` (3 retries,
+        exponential backoff, no deadline).
+    ``fallback``
+        backend to degrade to on unexpected backend errors; derived
+        automatically for DES backends (→ analytic twin).
+    ``checkpoint`` / ``resume``
+        JSONL journal path; with ``resume=True`` completed cells are
+        replayed from it instead of re-sampled.
     """
     if isinstance(backend, str):
         from ..backends import make_backend
 
         backend = make_backend(backend, system=system_name)
+    if faults is not None and not isinstance(backend, FaultInjector):
+        backend = FaultInjector(backend, faults)
     if system_name is None:
         system_name = getattr(backend, "system_name", None)
+    retry = retry or RetryPolicy()
+    if fallback is None:
+        fallback = _derive_fallback(backend)
+
     result = RunResult(config=config, system_name=system_name)
     gpu_on = config.gpu_enabled and backend.has_gpu
     transfers = tuple(
         t for t in config.transfers if t in backend.gpu_transfers
     ) if gpu_on else ()
-
-    for problem_type in config.problem_types():
-        params = config.sweep_params(problem_type)
-        for precision in config.precisions:
-            series = ProblemSeries(
-                problem_type=problem_type,
-                precision=precision,
-                iterations=config.iterations,
+    if gpu_on:
+        skipped = tuple(
+            t for t in config.transfers if t not in backend.gpu_transfers
+        )
+        if skipped:
+            result.skipped_transfers = skipped
+            names = ", ".join(t.value for t in skipped)
+            warnings.warn(
+                f"backend cannot measure transfer paradigm(s): {names}; "
+                "the sweep continues without them",
+                PartialSweepWarning, stacklevel=2,
             )
-            for p in params:
-                dims = problem_type.dims_at(p)
-                if config.cpu_enabled:
-                    series.add(
-                        backend.cpu_sample(
-                            problem_type.kernel, dims, precision,
-                            config.iterations, config.alpha, config.beta,
+
+    done: Dict[tuple, PerfSample] = {}
+    quarantined_keys: set = set()
+    resumed = None
+    if checkpoint is not None and resume:
+        from pathlib import Path
+
+        if Path(checkpoint).exists():
+            resumed = CheckpointReader.load(checkpoint, config, system_name)
+    writer = (
+        CheckpointWriter(checkpoint, config, system_name, resume=resume)
+        if checkpoint is not None
+        else None
+    )
+    state = _SweepState(backend, fallback, retry, writer, result)
+    if resumed is not None:
+        done = resumed.samples
+        result.quarantine.extend(resumed.quarantine)
+        quarantined_keys = resumed.quarantined_keys()
+        if resumed.device_lost:
+            state.gpu_lost = True
+            result.device_lost = True
+        if resumed.degraded and fallback is not None:
+            state.backend = fallback
+            state.fallback = None
+            result.degraded = True
+
+    try:
+        for problem_type in config.problem_types():
+            params = config.sweep_params(problem_type)
+            for precision in config.precisions:
+                series = ProblemSeries(
+                    problem_type=problem_type,
+                    precision=precision,
+                    iterations=config.iterations,
+                )
+                missing = 0
+                for p in params:
+                    dims = problem_type.dims_at(p)
+                    if config.cpu_enabled:
+                        _run_cell(
+                            state, series, done, quarantined_keys,
+                            problem_type, precision, config,
+                            DeviceKind.CPU, None, dims,
                         )
-                    )
-                for transfer in transfers:
-                    sample = backend.gpu_sample(
-                        problem_type.kernel, dims, precision,
-                        config.iterations, transfer,
-                        config.alpha, config.beta,
-                    )
-                    if sample is not None:
-                        series.add(sample)
-            result.series.append(series)
+                    for transfer in transfers:
+                        status = _run_cell(
+                            state, series, done, quarantined_keys,
+                            problem_type, precision, config,
+                            DeviceKind.GPU, transfer, dims,
+                        )
+                        if status == "lost":
+                            missing += 1
+                quarantined_here = any(
+                    e.kernel is series.kernel
+                    and e.ident == series.ident
+                    and e.precision is series.precision
+                    for e in result.quarantine
+                )
+                series.partial = missing > 0 or quarantined_here
+                result.series.append(series)
+    finally:
+        if writer is not None:
+            writer.close()
     return result
+
+
+def _run_cell(
+    state: _SweepState,
+    series: ProblemSeries,
+    done: Dict[tuple, PerfSample],
+    quarantined_keys: set,
+    problem_type,
+    precision: Precision,
+    config: RunConfig,
+    device: DeviceKind,
+    transfer: Optional[TransferType],
+    dims,
+) -> str:
+    """Sample (or replay) one sweep cell into ``series``.
+
+    Returns a status string: ``"sampled"``, ``"replayed"`` (from the
+    checkpoint), ``"quarantined"`` (this run or a resumed one), or
+    ``"lost"`` (skipped because the GPU is gone).  Replay lookups come
+    *before* the device-loss check so a resumed sweep keeps the GPU
+    samples it completed before the device disappeared.
+    """
+    key = sample_key(
+        problem_type.kernel, problem_type.ident, precision, device,
+        transfer, dims, config.iterations,
+    )
+    if key in quarantined_keys:
+        return "quarantined"
+    cached = done.get(key)
+    if cached is not None:
+        series.add(cached)
+        state.result.stats.resumed_samples += 1
+        return "replayed"
+    if device is DeviceKind.GPU and state.gpu_lost:
+        return "lost"
+
+    if device is DeviceKind.CPU:
+        def fn(backend):
+            return backend.cpu_sample(
+                problem_type.kernel, dims, precision,
+                config.iterations, config.alpha, config.beta,
+            )
+    else:
+        def fn(backend):
+            return backend.gpu_sample(
+                problem_type.kernel, dims, precision,
+                config.iterations, transfer, config.alpha, config.beta,
+            )
+
+    def make_entry(attempts: int, exc: Optional[Exception]) -> QuarantineEntry:
+        return QuarantineEntry(
+            kernel=problem_type.kernel,
+            ident=problem_type.ident,
+            precision=precision,
+            device=device,
+            transfer=transfer,
+            dims=dims,
+            iterations=config.iterations,
+            attempts=attempts,
+            error=type(exc).__name__ if exc is not None else "UnknownError",
+            message=str(exc) if exc is not None else "",
+        )
+
+    sample = state.sample_cell(fn, key, make_entry)
+    if sample is None:
+        return "quarantined"
+    series.add(sample)
+    if state.writer is not None:
+        state.writer.sample(key, sample)
+    return "sampled"

@@ -12,9 +12,11 @@ everywhere yields a threshold at the first swept size.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..errors import PartialSweepWarning
 from ..types import Dims, TransferType
 from .records import ProblemSeries
 
@@ -73,20 +75,42 @@ def threshold_for_series(
     transfer: TransferType,
     min_consecutive: int = 2,
 ) -> ThresholdResult:
-    """Offload threshold of one sweep series under one paradigm."""
+    """Offload threshold of one sweep series under one paradigm.
+
+    Quarantined or otherwise missing cells never raise: sizes present on
+    only one device are skipped with a :class:`PartialSweepWarning`, and
+    the threshold is computed over the surviving pairs.
+    """
     gpu = series.gpu_samples(transfer)
     cpu = series.cpu_samples()
     if not gpu or not cpu:
         return NOT_FOUND
     by_dims = {s.dims: s for s in gpu}
     dims_list, cpu_t, gpu_t = [], [], []
+    missing = 0
     for c in cpu:
         g = by_dims.get(c.dims)
         if g is None:
+            missing += 1
             continue
         dims_list.append(c.dims)
         cpu_t.append(c.seconds)
         gpu_t.append(g.seconds)
+    missing_cpu = len(by_dims) - len(dims_list)
+    if missing or missing_cpu:
+        blas = series.precision.blas_prefix + series.kernel.value
+        gaps = []
+        if missing:
+            gaps.append(f"{missing} of {len(cpu)} sizes lack a GPU sample")
+        if missing_cpu:
+            gaps.append(f"{missing_cpu} GPU sizes lack a CPU sample")
+        warnings.warn(
+            f"{blas}:{series.ident} [{transfer.value}]: "
+            + "; ".join(gaps)
+            + " (quarantined or device lost); threshold computed over the "
+            f"remaining {len(dims_list)} pairs",
+            PartialSweepWarning, stacklevel=2,
+        )
     if not dims_list:
         return NOT_FOUND
     return find_offload_threshold(dims_list, cpu_t, gpu_t, min_consecutive)

@@ -1,6 +1,42 @@
-"""Exception hierarchy for the repro engine."""
+"""Exception hierarchy and warning categories for the repro engine.
+
+Two families live here.  *Configuration* errors (``ConfigError`` and the
+``Unknown*`` lookups) mean the caller asked for something that does not
+exist and are never retried.  *Sweep-fault* errors
+(:class:`SweepFaultError` and subclasses) model the transient and
+permanent failures a real HPC sweep hits — kernel launch failures, DMA
+transfer errors, watchdog timeouts, mid-run device loss — whether they
+come from a real backend or from the deterministic
+:mod:`repro.faults` injector.  The resilient runner
+(:func:`repro.core.runner.run_sweep`) retries the transient ones with
+exponential backoff, quarantines samples that exhaust their retries,
+and degrades gracefully on the permanent ones.
+
+``PartialSweepWarning`` is the warning category for every "the sweep
+completed but is missing something" condition: unsupported transfer
+paradigms, quarantined samples, thresholds computed over gaps, and
+CPU-only continuation after device loss.
+"""
 
 from __future__ import annotations
+
+__all__ = [
+    "CheckpointError",
+    "ConfigError",
+    "DeferredFeatureError",
+    "DeviceLostError",
+    "PartialSweepWarning",
+    "ReproError",
+    "ReproWarning",
+    "RETRYABLE_ERRORS",
+    "SampleTimeoutError",
+    "SweepFaultError",
+    "TransferError",
+    "TransientKernelError",
+    "UnknownLibraryError",
+    "UnknownProblemTypeError",
+    "UnknownSystemError",
+]
 
 
 class ReproError(Exception):
@@ -37,3 +73,56 @@ class DeferredFeatureError(ReproError, NotImplementedError):
             f"{feature} is deferred in this build; the analytic path is "
             "available. See DESIGN.md 'Restored vs deferred'."
         )
+
+
+# -- sweep faults -----------------------------------------------------
+
+
+class SweepFaultError(ReproError):
+    """Base class for per-sample failures during a sweep."""
+
+
+class TransientKernelError(SweepFaultError):
+    """A kernel launch or execution failed transiently (retryable)."""
+
+
+class TransferError(SweepFaultError):
+    """A DMA transfer between host and device failed (retryable)."""
+
+
+class SampleTimeoutError(SweepFaultError):
+    """A sample exceeded its simulated-clock deadline (retryable)."""
+
+    def __init__(self, message: str, elapsed_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+
+
+class DeviceLostError(SweepFaultError):
+    """The GPU disappeared mid-sweep (permanent: not retryable).
+
+    The resilient runner reacts by finishing the sweep CPU-only and
+    flagging every series with missing GPU cells as partial.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable, corrupt, or belongs to a
+    different configuration than the resuming run."""
+
+
+#: Fault errors the resilient runner retries with backoff; everything
+#: else either degrades the sweep (DeviceLostError) or is a real bug.
+RETRYABLE_ERRORS = (TransientKernelError, TransferError, SampleTimeoutError)
+
+
+# -- warnings ---------------------------------------------------------
+
+
+class ReproWarning(UserWarning):
+    """Base category for warnings emitted by the repro package."""
+
+
+class PartialSweepWarning(ReproWarning):
+    """The sweep completed, but some requested cells are missing —
+    unsupported paradigms, quarantined samples, or device loss."""

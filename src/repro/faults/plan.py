@@ -1,0 +1,122 @@
+"""Seeded fault plans: *which* fault fires for *which* sample attempt.
+
+The decision function follows the spirit of
+:class:`repro.sim.noise.DeterministicNoise` — hash the sample key, map
+to a unit float, fire when it falls below the kind's rate — but uses
+BLAKE2b instead of CRC32: CRC is linear, so keys differing only in the
+attempt counter produce strongly correlated draws, and a retried sample
+would keep hitting the same fault.  With a cryptographic hash each
+``(seed, kind, attempt, key)`` tuple is an independent draw, so retries
+can genuinely succeed, while two runs with the same seed (or an
+interrupted run and its resume) still see byte-identical fault
+sequences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from ..errors import ConfigError
+
+__all__ = ["FaultKind", "FaultPlan", "NO_FAULTS"]
+
+
+class FaultKind(Enum):
+    """Everything the injector can do to one sample attempt."""
+
+    #: transient kernel launch/execution failure → TransientKernelError
+    KERNEL = "kernel"
+    #: DMA transfer error on an explicit-copy GPU sample → TransferError
+    TRANSFER = "transfer"
+    #: sample hang: the simulated clock gains ``hang_s`` extra seconds
+    HANG = "hang"
+    #: ECC retry storm: the sample slows by ``ecc_slowdown``x
+    ECC = "ecc"
+    #: the GPU falls off the bus, permanently → DeviceLostError
+    DEVICE_LOST = "device-lost"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, seeded per-fault-kind firing rates.
+
+    ``rates`` maps each :class:`FaultKind` to a probability in
+    ``[0, 1)``; kinds absent from the mapping never fire.  ``hang_s``
+    is the simulated wall-time a hung sample loses, ``ecc_slowdown``
+    the multiplicative penalty of an ECC retry storm.
+    """
+
+    seed: int = 0
+    rates: Mapping[FaultKind, float] = field(default_factory=dict)
+    hang_s: float = 30.0
+    ecc_slowdown: float = 1.35
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates.items():
+            if not isinstance(kind, FaultKind):
+                raise ConfigError(f"rates keys must be FaultKind, got {kind!r}")
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(
+                    f"fault rate for {kind.value!r} must be in [0, 1), got {rate}"
+                )
+        if self.hang_s <= 0.0:
+            raise ConfigError(f"hang_s must be > 0, got {self.hang_s}")
+        if self.ecc_slowdown < 1.0:
+            raise ConfigError(
+                f"ecc_slowdown must be >= 1, got {self.ecc_slowdown}"
+            )
+
+    @classmethod
+    def uniform(
+        cls,
+        rate: float,
+        *,
+        seed: int = 0,
+        device_lost_rate: float = 0.0,
+        hang_s: float = 30.0,
+        ecc_slowdown: float = 1.35,
+    ) -> "FaultPlan":
+        """One rate for every transient kind; device loss set separately
+        (it is permanent, so it defaults to off)."""
+        rates = {
+            FaultKind.KERNEL: rate,
+            FaultKind.TRANSFER: rate,
+            FaultKind.HANG: rate,
+            FaultKind.ECC: rate,
+        }
+        if device_lost_rate:
+            rates[FaultKind.DEVICE_LOST] = device_lost_rate
+        return cls(seed=seed, rates=rates, hang_s=hang_s,
+                   ecc_slowdown=ecc_slowdown)
+
+    @classmethod
+    def chaos(cls, seed: int = 0) -> "FaultPlan":
+        """The aggressive preset the chaos tests and CI smoke job use."""
+        return cls.uniform(0.25, seed=seed, device_lost_rate=0.002)
+
+    @property
+    def enabled(self) -> bool:
+        return any(rate > 0.0 for rate in self.rates.values())
+
+    def fires(self, kind: FaultKind, key: tuple, attempt: int) -> bool:
+        """Does ``kind`` fire for this (sample key, attempt) pair?"""
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        return _unit((self.seed, kind.value, attempt) + tuple(key)) < rate
+
+
+def _unit(key: tuple) -> float:
+    """Deterministic hash of ``key`` to a unit float in [0, 1)."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+#: The do-nothing plan (every rate zero).
+NO_FAULTS = FaultPlan()

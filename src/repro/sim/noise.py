@@ -11,6 +11,8 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
+from ..errors import ConfigError
+
 __all__ = ["NO_NOISE", "DeterministicNoise", "NoiseModel"]
 
 
@@ -20,6 +22,14 @@ class NoiseModel:
     multiplicative time factor."""
 
     amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        # amplitude >= 1 would allow a zero or negative time factor,
+        # which poisons every GFLOP/s rate downstream.
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigError(
+                f"noise amplitude must be in [0, 1), got {self.amplitude}"
+            )
 
     def factor(self, key: tuple) -> float:
         return 1.0

@@ -1,0 +1,52 @@
+"""DeterministicNoise amplitude validation and boundary behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.noise import NO_NOISE, DeterministicNoise, NoiseModel
+
+KEY = ("gpu", "once", (64, 64, 64), "single", 8)
+
+
+def test_negative_amplitude_rejected():
+    with pytest.raises(ConfigError, match=r"\[0, 1\)"):
+        DeterministicNoise(amplitude=-0.01)
+    with pytest.raises(ConfigError):
+        NoiseModel(amplitude=-1e-9)
+
+
+def test_amplitude_one_or_more_rejected():
+    """amplitude >= 1 could produce a zero/negative time factor."""
+    with pytest.raises(ConfigError):
+        DeterministicNoise(amplitude=1.0)
+    with pytest.raises(ConfigError):
+        DeterministicNoise(amplitude=2.5)
+
+
+def test_zero_amplitude_is_exact():
+    noise = DeterministicNoise(amplitude=0.0)
+    assert noise.factor(KEY) == 1.0
+    assert NO_NOISE.factor(KEY) == 1.0
+
+
+def test_amplitude_just_below_one_accepted():
+    noise = DeterministicNoise(amplitude=0.999)
+    factor = noise.factor(KEY)
+    assert 0.0 < factor < 2.0
+
+
+def test_factors_bounded_by_amplitude():
+    noise = DeterministicNoise(amplitude=0.05, seed=3)
+    for m in range(1, 200, 7):
+        f = noise.factor(("gpu", "always", (m, m, m), "double", 1))
+        assert 0.95 <= f <= 1.05
+
+
+def test_factor_deterministic_and_seed_dependent():
+    a = DeterministicNoise(amplitude=0.02, seed=1)
+    b = DeterministicNoise(amplitude=0.02, seed=1)
+    c = DeterministicNoise(amplitude=0.02, seed=2)
+    assert a.factor(KEY) == b.factor(KEY)
+    assert a.factor(KEY) != c.factor(KEY)
