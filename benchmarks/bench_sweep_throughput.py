@@ -1,0 +1,183 @@
+"""Sweep-executor throughput: serial-scalar vs vectorized vs parallel.
+
+Times the Table III configuration (square GEMM on dawn, the full
+1–4096 range at stride 8, both precisions, all three transfer
+paradigms) through the three execution strategies of
+:func:`repro.core.runner.run_sweep` and reports cells/second for each,
+plus a parallel scaling curve over worker counts.  All three strategies
+produce bit-identical series — asserted here on every run — so the
+numbers compare pure executor overhead.
+
+Writes ``results/BENCH_sweep_throughput.json``.  Runnable standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_sweep_throughput.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_sweep_throughput.py --check
+
+``--check`` exits non-zero unless the vectorized path clears 5x the
+serial-scalar cells/s (the CI perf-smoke floor; the measured margin is
+far larger).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from harness import RESULTS_DIR, backend_for, run_once
+from repro.core.config import RunConfig
+from repro.core.runner import run_sweep
+from repro.types import Kernel
+
+SYSTEM = "dawn"
+SPEEDUP_FLOOR = 5.0
+PARALLEL_JOBS = (2, 4)
+#: timing repeats per strategy (after one untimed warmup); best-of wins
+ROUNDS = 3
+
+
+class _ScalarOnly:
+    """Proxy hiding a backend's batch entry points, forcing the
+    per-cell reference path through the runner."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        if name.endswith("_batch"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    @property
+    def gpu_transfers(self):
+        return self._inner.gpu_transfers
+
+    @property
+    def has_gpu(self):
+        return self._inner.has_gpu
+
+
+def _table3_config() -> RunConfig:
+    return RunConfig(
+        min_dim=1,
+        max_dim=4096,
+        step=8,
+        iterations=8,
+        kernels=(Kernel.GEMM,),
+        problem_idents=("square",),
+    )
+
+
+def _cell_count(result) -> int:
+    return sum(len(series.all_samples()) for series in result.series)
+
+
+def measure() -> dict:
+    config = _table3_config()
+    backend = backend_for(SYSTEM)
+
+    def timed(run):
+        """Best wall time of ``ROUNDS`` repeats after one warmup: the
+        sweep is deterministic, so the minimum is the least-noisy
+        estimate of its cost."""
+        result = run()
+        best = float("inf")
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            result = run()
+            best = min(best, time.perf_counter() - t0)
+        return result, best
+
+    serial_result, serial_s = timed(
+        lambda: run_sweep(_ScalarOnly(backend), config, SYSTEM)
+    )
+    vector_result, vector_s = timed(
+        lambda: run_sweep(backend, config, SYSTEM)
+    )
+    assert vector_result.series == serial_result.series, (
+        "vectorized sweep diverged from the scalar reference"
+    )
+
+    cells = _cell_count(serial_result)
+    scaling = []
+    for jobs in PARALLEL_JOBS:
+        par_result, par_s = timed(
+            lambda jobs=jobs: run_sweep(backend, config, SYSTEM, jobs=jobs)
+        )
+        assert par_result.series == serial_result.series, (
+            f"jobs={jobs} sweep diverged from the scalar reference"
+        )
+        scaling.append({
+            "jobs": jobs,
+            "seconds": par_s,
+            "cells_per_s": cells / par_s,
+            "speedup_vs_serial": serial_s / par_s,
+        })
+
+    return {
+        "config": {
+            "system": SYSTEM,
+            "problem": "gemm:square",
+            "min_dim": config.min_dim,
+            "max_dim": config.max_dim,
+            "step": config.step,
+            "iterations": config.iterations,
+            "cells": cells,
+        },
+        "serial": {"seconds": serial_s, "cells_per_s": cells / serial_s},
+        "vectorized": {
+            "seconds": vector_s,
+            "cells_per_s": cells / vector_s,
+            "speedup_vs_serial": serial_s / vector_s,
+        },
+        "parallel": scaling,
+    }
+
+
+def report(data: dict) -> str:
+    lines = [
+        f"sweep throughput — {data['config']['system']} "
+        f"{data['config']['problem']}, {data['config']['cells']} cells",
+        f"  serial-scalar : {data['serial']['cells_per_s']:10.0f} cells/s",
+        f"  vectorized    : {data['vectorized']['cells_per_s']:10.0f} cells/s"
+        f"  ({data['vectorized']['speedup_vs_serial']:.1f}x)",
+    ]
+    for row in data["parallel"]:
+        lines.append(
+            f"  jobs={row['jobs']}        : {row['cells_per_s']:10.0f} cells/s"
+            f"  ({row['speedup_vs_serial']:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def write_json(data: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_sweep_throughput.json"
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_sweep_throughput(benchmark):
+    data = run_once(benchmark, measure)
+    write_json(data)
+    print("\n" + report(data))
+    assert data["vectorized"]["speedup_vs_serial"] >= SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    check = "--check" in (argv if argv is not None else sys.argv[1:])
+    data = measure()
+    write_json(data)
+    print(report(data))
+    speedup = data["vectorized"]["speedup_vs_serial"]
+    if check and speedup < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: vectorized speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

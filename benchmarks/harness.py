@@ -32,6 +32,33 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 SYSTEMS = ("dawn", "lumi", "isambard-ai")
 
 _sweep_cache: dict[tuple, RunResult] = {}
+_backend_cache: dict[tuple, AnalyticBackend] = {}
+
+
+def backend_for(
+    system: str,
+    *,
+    cpu_library: str | None = None,
+    gpu_library: str | None = None,
+    cpu_threads: int | None = None,
+) -> AnalyticBackend:
+    """One analytic backend per distinct system configuration.
+
+    Benches sweep the same system at five iteration counts and several
+    problem families; rebuilding the model (and its calibrated library
+    curves) for each sweep dominated harness setup time.  The backend is
+    stateless across runs, so sharing one instance is safe.
+    """
+    key = (system, cpu_library, gpu_library, cpu_threads)
+    if key not in _backend_cache:
+        model = make_model(
+            system,
+            cpu_library=cpu_library,
+            gpu_library=gpu_library,
+            cpu_threads=cpu_threads,
+        )
+        _backend_cache[key] = AnalyticBackend(model)
+    return _backend_cache[key]
 
 
 def sweep(
@@ -55,7 +82,7 @@ def sweep(
            cpu_library, gpu_library, cpu_threads, min_dim, max_dim, step)
     if key in _sweep_cache:
         return _sweep_cache[key]
-    model = make_model(
+    backend = backend_for(
         system,
         cpu_library=cpu_library,
         gpu_library=gpu_library,
@@ -72,7 +99,7 @@ def sweep(
         problem_idents=problem_idents,
         **kwargs,
     )
-    result = run_sweep(AnalyticBackend(model), config, system_name=system)
+    result = run_sweep(backend, config, system_name=system)
     _sweep_cache[key] = result
     return result
 

@@ -14,7 +14,22 @@ from typing import Optional
 from ..core.records import PerfSample
 from ..types import Dims, Precision, TransferType
 
-__all__ = ["Backend", "PerfSample"]
+__all__ = ["Backend", "PerfSample", "model_cache_token"]
+
+
+def model_cache_token(model) -> str:
+    """Deterministic description of a :class:`NodePerfModel`'s full
+    parameterization (specs, libraries, thread cap, noise) for the
+    content-addressed sweep cache.  Frozen-dataclass reprs are stable
+    and value-based, so two models built the same way tokenize the
+    same."""
+    return repr((
+        model.spec,
+        model.cpu.library,
+        model.cpu.max_threads,
+        model.gpu.library if model.gpu is not None else None,
+        model.noise,
+    ))
 
 
 class Backend(ABC):
@@ -22,6 +37,12 @@ class Backend(ABC):
 
     #: transfer types this backend can measure; empty means CPU-only
     gpu_transfers: tuple = ()
+
+    #: content-addressed sweep-cache identity; ``None`` (the default)
+    #: marks the backend uncacheable (e.g. real host measurements)
+    @property
+    def cache_token(self):
+        return None
 
     @property
     def has_gpu(self) -> bool:

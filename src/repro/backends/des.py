@@ -30,7 +30,7 @@ from ..sim.perfmodel import NodePerfModel
 from ..sim.pipeline import always_iteration_costs
 from ..sim.usm import PageTable
 from ..types import DeviceKind, Dims, Precision, TransferType
-from .base import Backend
+from .base import Backend, model_cache_token
 
 __all__ = ["DESBackend", "DesBackend"]
 
@@ -60,6 +60,13 @@ class DesBackend(Backend):
     @property
     def system_name(self) -> str:
         return self.model.spec.name
+
+    @property
+    def cache_token(self) -> str:
+        return (
+            f"des:pages={self.usm_page_granular}:"
+            f"events={self.max_fault_events}:{model_cache_token(self.model)}"
+        )
 
     # -- schedule builders --------------------------------------------
     def _build_once(self, engine, dims, precision, iterations, alpha, beta):

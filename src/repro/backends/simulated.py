@@ -7,12 +7,12 @@ so full paper-scale sweeps finish in seconds on any machine.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..core.records import PerfSample
 from ..sim.perfmodel import NodePerfModel
-from ..types import DeviceKind, TransferType
-from .base import Backend
+from ..types import DeviceKind, Dims, TransferType
+from .base import Backend, model_cache_token
 from .des import DESBackend, DesBackend
 
 __all__ = ["AnalyticBackend", "DESBackend", "DesBackend"]
@@ -31,6 +31,10 @@ class AnalyticBackend(Backend):
     def system_name(self) -> str:
         return self.model.spec.name
 
+    @property
+    def cache_token(self) -> str:
+        return f"analytic:{model_cache_token(self.model)}"
+
     def cpu_sample(self, kernel, dims, precision, iterations,
                    alpha=1.0, beta=0.0) -> PerfSample:
         seconds = self.model.cpu_time(
@@ -48,3 +52,60 @@ class AnalyticBackend(Backend):
         return PerfSample.from_seconds(
             DeviceKind.GPU, transfer, dims, iterations, seconds,
             checksum_ok=True, beta=beta)
+
+    # -- vectorized fast path -----------------------------------------
+    #
+    # One closed-form evaluation over a whole same-kernel batch of
+    # dims.  Each returned sample is bit-identical to what the scalar
+    # method produces for that cell, so the runner can switch paths
+    # freely without perturbing goldens.
+
+    def cpu_sample_batch(
+        self, kernel, dims_list: Sequence[Dims], precision, iterations,
+        alpha=1.0, beta=0.0,
+    ) -> List[PerfSample]:
+        seconds = self.model.cpu_time_batch(
+            dims_list, precision, iterations, alpha=alpha, beta=beta)
+        return _build_samples(
+            DeviceKind.CPU, None, kernel, dims_list, iterations, seconds,
+            beta,
+        )
+
+    def gpu_sample_batch(
+        self, kernel, dims_list: Sequence[Dims], precision, iterations,
+        transfer, alpha=1.0, beta=0.0,
+    ) -> Optional[List[PerfSample]]:
+        if not self.model.has_gpu:
+            return None
+        seconds = self.model.gpu_time_batch(
+            dims_list, precision, iterations, transfer, alpha=alpha, beta=beta)
+        return _build_samples(
+            DeviceKind.GPU, transfer, kernel, dims_list, iterations, seconds,
+            beta,
+        )
+
+
+def _build_samples(
+    device, transfer, kernel, dims_list, iterations, seconds, beta,
+) -> List[PerfSample]:
+    """Batch twin of :meth:`PerfSample.from_seconds`: the GFLOP/s rates
+    vectorize (flop counts and the iterations product stay < 2**53, so
+    the float64 division matches the scalar arithmetic bit-for-bit)."""
+    import numpy as np
+
+    from ..core.flops import flops_for_batch
+
+    count = len(dims_list)
+    m = np.fromiter((d.m for d in dims_list), dtype=np.int64, count=count)
+    n = np.fromiter((d.n for d in dims_list), dtype=np.int64, count=count)
+    k = np.fromiter((d.k for d in dims_list), dtype=np.int64, count=count)
+    flops = flops_for_batch(kernel, m, n, k, beta)
+    with np.errstate(divide="ignore"):
+        gflops = np.where(
+            seconds > 0, iterations * flops / seconds / 1e9, 0.0
+        )
+    return [
+        PerfSample(device, transfer, dims, iterations, float(s), float(g),
+                   True)
+        for dims, s, g in zip(dims_list, seconds, gflops)
+    ]

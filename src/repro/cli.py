@@ -131,6 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay completed samples from --checkpoint instead of "
         "re-running them",
     )
+    execution = parser.add_argument_group("execution")
+    execution.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="shard (problem type, precision) series across N worker "
+        "processes; results merge bit-identical to a serial run "
+        "(default 1: in-process)",
+    )
+    execution.add_argument(
+        "--cache-dir", metavar="DIR", default="results/.sweep-cache",
+        help="content-addressed sweep cache; re-running an identical "
+        "(config, system, backend) sweep replays the stored samples "
+        "(default results/.sweep-cache)",
+    )
+    execution.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the sweep cache: neither read nor write it",
+    )
     parser.add_argument(
         "-o", "--output", metavar="DIR", default=None,
         help="write per-series CSVs into DIR",
@@ -202,6 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend, config, system_name=system_name,
             faults=faults, retry=retry,
             checkpoint=args.checkpoint, resume=args.resume,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
         )
     except ReproError as exc:
         print(f"gpu-blob: error: {exc}", file=sys.stderr)
@@ -218,6 +237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _print_resilience_report(result) -> None:
     """One line per resilience event, after the summary table."""
     stats = result.stats
+    if stats.cached_samples:
+        print(
+            f"replayed {stats.cached_samples} sample(s) from the sweep cache"
+        )
     if stats.resumed_samples:
         print(f"resumed {stats.resumed_samples} sample(s) from checkpoint")
     if stats.retries:

@@ -59,6 +59,12 @@ class ProblemType:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.kernel.value}:{self.ident}"
 
+    def __reduce__(self):
+        """Pickle by registry key: the ``_dims`` lambdas cannot cross a
+        process boundary, but every problem type is a catalog singleton,
+        so the parallel sweep executor ships (kernel, ident) instead."""
+        return (get_problem_type, (self.kernel, self.ident))
+
 
 def _pt(ident, kernel, fn, ratio16=False):
     return ProblemType(ident, kernel, fn, ratio16)

@@ -12,12 +12,15 @@ from .problem import ProblemType
 __all__ = ["PerfSample", "ProblemSeries", "QuarantineEntry"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PerfSample:
     """One timed data point: a (device, transfer, dims) cell.
 
     ``seconds`` is the total wall time over all iterations; ``gflops``
     is the aggregate rate ``iterations * flops / seconds``.
+
+    Slotted: full-range sweeps hold hundreds of thousands of samples,
+    and construction sits on the vectorized fast path's critical loop.
     """
 
     device: DeviceKind

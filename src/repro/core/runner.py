@@ -6,6 +6,29 @@ GPU under each transfer paradigm, and collects the timings into one
 :class:`~repro.core.records.ProblemSeries` — the unit the threshold
 detector and all tables/figures consume.
 
+Three execution strategies exist, all producing bit-identical results:
+
+* the classic per-cell loop (the reference path — always correct, and
+  the only path under fault injection);
+* a **vectorized fast path**: when no fault injector wraps the backend
+  and the backend exposes ``cpu_sample_batch``/``gpu_sample_batch``
+  (the analytic backend does), every (device, transfer) column of a
+  series is evaluated in one NumPy shot;
+* a **parallel executor**: ``run_sweep(..., jobs=N)`` shards the
+  (problem type, precision) series across a ``concurrent.futures``
+  process pool and merges the results in deterministic series order.
+  Each worker journals to its own checkpoint shard, merged into the
+  single JSONL journal when the pool drains.  The runner falls back to
+  in-process execution when ``jobs=1``, when faults are enabled, or
+  when the backend/config cannot be pickled (the DES engine stays
+  serial *within* a series, but series still parallelize).
+
+With ``cache_dir=`` the runner keys a content-addressed result store on
+the checkpoint config fingerprint plus the backend's ``cache_token``;
+re-running an identical (config, system, backend) sweep is a cache hit
+that replays the stored samples exactly (floats round-trip through JSON
+bit-for-bit).  Only complete, fault-free, non-degraded runs are stored.
+
 Unlike a lab-bench loop, ``run_sweep`` assumes samples can *fail* the
 way they do on real HPC queues (see :mod:`repro.faults`):
 
@@ -31,6 +54,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import (
@@ -96,10 +120,21 @@ class RetryPolicy:
         base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
         if self.jitter == 0.0:
             return base
-        from ..faults.plan import _unit
-
-        unit = _unit((self.seed, "backoff", attempt) + tuple(key))
+        unit = _backoff_unit(self.seed, attempt, tuple(key))
         return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+@lru_cache(maxsize=8192)
+def _backoff_unit(seed: int, attempt: int, key: tuple) -> float:
+    """Memoized BLAKE2b jitter draw for :meth:`RetryPolicy.backoff_s`.
+
+    The draw is pure in (seed, attempt, key), and chaos sweeps re-ask
+    for the same cell's jitter on every retry ladder replay — caching
+    skips the repr+hash round trip without changing a single value.
+    """
+    from ..faults.plan import _unit
+
+    return _unit((seed, "backoff", attempt) + key)
 
 
 @dataclass
@@ -111,6 +146,8 @@ class SweepStats:
     backoff_s: float = 0.0
     resumed_samples: int = 0
     fallback_samples: int = 0
+    #: samples replayed from the content-addressed sweep cache
+    cached_samples: int = 0
 
 
 @dataclass
@@ -214,6 +251,24 @@ class _SweepState:
         self.result = result
         self.gpu_lost = False
 
+    def can_batch(self) -> bool:
+        """Whether the vectorized fast path may replace per-cell calls.
+
+        Requires a backend with batch entry points, no fault injector
+        (faults are drawn per attempt, so cells must be sampled one at a
+        time) and no per-sample deadline (the timeout feeds the retry
+        ladder, which is per-cell machinery).  A subclass that overrides
+        only the scalar samplers keeps the reference path: the batch
+        methods are trusted only when the same class defines both halves
+        of the pair, so the fast path can never diverge from overridden
+        scalar behavior.
+        """
+        return (
+            self.retry.sample_timeout_s is None
+            and not isinstance(self.backend, FaultInjector)
+            and _batch_trustworthy(type(self.backend))
+        )
+
     def _quarantine(self, entry: QuarantineEntry) -> None:
         self.result.quarantine.append(entry)
         if self.writer is not None:
@@ -298,6 +353,27 @@ class _SweepState:
         return None
 
 
+def _defining_class(cls, name: str):
+    for base in cls.__mro__:
+        if name in base.__dict__:
+            return base
+    return None
+
+
+def _batch_trustworthy(cls) -> bool:
+    """True when ``cls`` may serve batch calls in place of scalar ones:
+    each scalar/batch pair must come from the same class in the MRO."""
+    if _defining_class(cls, "cpu_sample_batch") is None:
+        return False
+    for scalar, batch in (
+        ("cpu_sample", "cpu_sample_batch"),
+        ("gpu_sample", "gpu_sample_batch"),
+    ):
+        if _defining_class(cls, scalar) is not _defining_class(cls, batch):
+            return False
+    return True
+
+
 def run_sweep(
     backend,
     config: RunConfig,
@@ -308,6 +384,8 @@ def run_sweep(
     fallback=None,
     checkpoint=None,
     resume: bool = False,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> RunResult:
     """Execute one GPU-BLOB sweep of ``config`` on ``backend``.
 
@@ -332,6 +410,15 @@ def run_sweep(
     ``checkpoint`` / ``resume``
         JSONL journal path; with ``resume=True`` completed cells are
         replayed from it instead of re-sampled.
+    ``jobs``
+        shard the (problem type, precision) series across a process
+        pool of this many workers; ``1`` (the default) runs in-process.
+        The merged result is bit-identical to a serial run.
+    ``cache_dir``
+        directory of the content-addressed sweep cache.  A prior run of
+        the identical (config, system, backend) triple is replayed from
+        the store instead of re-executed; complete fault-free runs are
+        stored on the way out.  ``None`` (the default) disables caching.
     """
     if isinstance(backend, str):
         from ..backends import make_backend
@@ -342,8 +429,26 @@ def run_sweep(
     if system_name is None:
         system_name = getattr(backend, "system_name", None)
     retry = retry or RetryPolicy()
+    if jobs < 1:
+        from ..errors import ConfigError
+
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
     if fallback is None:
         fallback = _derive_fallback(backend)
+
+    cacheable = (
+        cache_dir is not None
+        and faults is None
+        and not isinstance(backend, FaultInjector)
+        and checkpoint is None
+        and getattr(backend, "cache_token", None) is not None
+    )
+    if cacheable:
+        from .sweepcache import load_cached_run
+
+        cached = load_cached_run(cache_dir, config, system_name, backend)
+        if cached is not None:
+            return cached
 
     result = RunResult(config=config, system_name=system_name)
     gpu_on = config.gpu_enabled and backend.has_gpu
@@ -389,44 +494,347 @@ def run_sweep(
             state.fallback = None
             result.degraded = True
 
+    shards = [
+        (problem_type, precision)
+        for problem_type in config.problem_types()
+        for precision in config.precisions
+    ]
+    use_parallel = (
+        jobs > 1
+        and len(shards) > 1
+        and faults is None
+        and not isinstance(state.backend, FaultInjector)
+        and _picklable((state.backend, config, retry))
+    )
     try:
-        for problem_type in config.problem_types():
-            params = config.sweep_params(problem_type)
-            for precision in config.precisions:
-                series = ProblemSeries(
-                    problem_type=problem_type,
-                    precision=precision,
-                    iterations=config.iterations,
+        if use_parallel:
+            _run_parallel(
+                state, shards, config, transfers, done, quarantined_keys,
+                jobs, system_name,
+            )
+        else:
+            for problem_type, precision in shards:
+                result.series.append(
+                    _run_series(
+                        state, problem_type, precision, config, transfers,
+                        done, quarantined_keys,
+                    )
                 )
-                missing = 0
-                for p in params:
-                    dims = problem_type.dims_at(p)
-                    if config.cpu_enabled:
-                        _run_cell(
-                            state, series, done, quarantined_keys,
-                            problem_type, precision, config,
-                            DeviceKind.CPU, None, dims,
-                        )
-                    for transfer in transfers:
-                        status = _run_cell(
-                            state, series, done, quarantined_keys,
-                            problem_type, precision, config,
-                            DeviceKind.GPU, transfer, dims,
-                        )
-                        if status == "lost":
-                            missing += 1
-                quarantined_here = any(
-                    e.kernel is series.kernel
-                    and e.ident == series.ident
-                    and e.precision is series.precision
-                    for e in result.quarantine
-                )
-                series.partial = missing > 0 or quarantined_here
-                result.series.append(series)
     finally:
         if writer is not None:
             writer.close()
+    if cacheable and result.complete and not result.degraded:
+        from .sweepcache import store_run
+
+        store_run(cache_dir, backend, result)
     return result
+
+
+def _run_series(
+    state: _SweepState,
+    problem_type,
+    precision: Precision,
+    config: RunConfig,
+    transfers: Tuple[TransferType, ...],
+    done: Dict[tuple, PerfSample],
+    quarantined_keys: set,
+) -> ProblemSeries:
+    """Fill one (problem type, precision) series, batched when possible."""
+    series = ProblemSeries(
+        problem_type=problem_type,
+        precision=precision,
+        iterations=config.iterations,
+    )
+    missing: Optional[int] = None
+    if state.can_batch():
+        missing = _run_series_batched(
+            state, series, done, quarantined_keys, problem_type, precision,
+            config, transfers,
+        )
+    if missing is None:
+        missing = 0
+        for p in config.sweep_params(problem_type):
+            dims = problem_type.dims_at(p)
+            if config.cpu_enabled:
+                _run_cell(
+                    state, series, done, quarantined_keys,
+                    problem_type, precision, config,
+                    DeviceKind.CPU, None, dims,
+                )
+            for transfer in transfers:
+                status = _run_cell(
+                    state, series, done, quarantined_keys,
+                    problem_type, precision, config,
+                    DeviceKind.GPU, transfer, dims,
+                )
+                if status == "lost":
+                    missing += 1
+    quarantined_here = any(
+        e.kernel is series.kernel
+        and e.ident == series.ident
+        and e.precision is series.precision
+        for e in state.result.quarantine
+    )
+    series.partial = missing > 0 or quarantined_here
+    return series
+
+
+def _run_series_batched(
+    state: _SweepState,
+    series: ProblemSeries,
+    done: Dict[tuple, PerfSample],
+    quarantined_keys: set,
+    problem_type,
+    precision: Precision,
+    config: RunConfig,
+    transfers: Tuple[TransferType, ...],
+) -> Optional[int]:
+    """Vectorized evaluation of one series, column by column.
+
+    Every (device, transfer) column is partitioned into replayed,
+    skipped and fresh cells; the fresh cells go through the backend's
+    batch entry point in one call.  All backend work happens *before*
+    the series or the journal is touched, so a batch failure leaves no
+    partial state behind — the caller falls back to the per-cell
+    reference path (returns ``None``) and retries there.  Returns the
+    count of device-lost cells otherwise.
+    """
+    dims_all = [
+        problem_type.dims_at(p) for p in config.sweep_params(problem_type)
+    ]
+    columns = []
+    if config.cpu_enabled:
+        columns.append((DeviceKind.CPU, None))
+    columns.extend((DeviceKind.GPU, t) for t in transfers)
+
+    backend = state.backend
+    # Common case — nothing to replay, skip, or journal: per-cell key
+    # construction and classification are pure overhead, so each column
+    # is one batch call appended wholesale.
+    if (
+        not done
+        and not quarantined_keys
+        and not state.gpu_lost
+        and state.writer is None
+    ):
+        fresh_columns = []
+        try:
+            for device, transfer in columns:
+                if device is DeviceKind.CPU:
+                    fresh = backend.cpu_sample_batch(
+                        problem_type.kernel, dims_all, precision,
+                        config.iterations, config.alpha, config.beta,
+                    )
+                else:
+                    fresh = backend.gpu_sample_batch(
+                        problem_type.kernel, dims_all, precision,
+                        config.iterations, transfer, config.alpha,
+                        config.beta,
+                    )
+                if fresh is None or len(fresh) != len(dims_all):
+                    return None
+                fresh_columns.append((device, transfer, fresh))
+        except Exception:
+            return None
+        for device, transfer, fresh in fresh_columns:
+            _extend_column(series, device, transfer, fresh)
+            if state.result.degraded:
+                state.result.stats.fallback_samples += len(fresh)
+        return 0
+
+    evaluated = []
+    # Keys are built inline (same layout as ``sample_key``) with the
+    # enum values hoisted: per-cell enum attribute lookups were a
+    # measurable slice of the fast path's runtime.
+    kernel_v, ident_v = problem_type.kernel.value, problem_type.ident
+    precision_v, iterations_v = precision.value, config.iterations
+    try:
+        for device, transfer in columns:
+            device_v = device.value
+            transfer_v = transfer.value if transfer else None
+            cells = []  # per sweep param: (kind, payload)
+            fresh_dims: List = []
+            fresh_keys: List[tuple] = []
+            for dims in dims_all:
+                key = (
+                    kernel_v, ident_v, precision_v, device_v, transfer_v,
+                    dims.m, dims.n, dims.k, iterations_v,
+                )
+                if key in quarantined_keys:
+                    cells.append(("quarantined", None))
+                elif key in done:
+                    cells.append(("replay", done[key]))
+                elif device is DeviceKind.GPU and state.gpu_lost:
+                    cells.append(("lost", None))
+                else:
+                    cells.append(("fresh", len(fresh_dims)))
+                    fresh_dims.append(dims)
+                    fresh_keys.append(key)
+            if fresh_dims:
+                if device is DeviceKind.CPU:
+                    fresh = backend.cpu_sample_batch(
+                        problem_type.kernel, fresh_dims, precision,
+                        config.iterations, config.alpha, config.beta,
+                    )
+                else:
+                    fresh = backend.gpu_sample_batch(
+                        problem_type.kernel, fresh_dims, precision,
+                        config.iterations, transfer, config.alpha,
+                        config.beta,
+                    )
+                if fresh is None or len(fresh) != len(fresh_dims):
+                    return None
+            else:
+                fresh = []
+            evaluated.append((cells, fresh, fresh_keys))
+    except Exception:
+        return None
+
+    missing = 0
+    stats = state.result.stats
+    for (cells, fresh, fresh_keys) in evaluated:
+        for kind, payload in cells:
+            if kind == "replay":
+                series.add(payload)
+                stats.resumed_samples += 1
+            elif kind == "lost":
+                missing += 1
+            elif kind == "fresh":
+                sample = fresh[payload]
+                series.add(sample)
+                if state.writer is not None:
+                    state.writer.sample(fresh_keys[payload], sample)
+                if state.result.degraded:
+                    stats.fallback_samples += 1
+    return missing
+
+
+def _extend_column(
+    series: ProblemSeries,
+    device: DeviceKind,
+    transfer: Optional[TransferType],
+    samples: List[PerfSample],
+) -> None:
+    """Bulk :meth:`ProblemSeries.add` of one (device, transfer) column."""
+    if device is DeviceKind.CPU:
+        series.cpu.extend(samples)
+    else:
+        series.gpu.setdefault(transfer, []).extend(samples)
+
+
+def _picklable(obj) -> bool:
+    import pickle
+
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _sweep_shard_worker(payload: tuple):
+    """Run one (problem type, precision) series in a pool worker.
+
+    Returns ``(series, quarantine, degraded, device_lost, stats)`` —
+    everything the parent needs for a deterministic ordered merge.
+    """
+    (
+        backend, problem_type, precision, config, retry, done, quarantined,
+        shard_path, system_name, transfers, gpu_lost, degraded,
+    ) = payload
+    result = RunResult(config=config, system_name=system_name)
+    writer = (
+        CheckpointWriter(shard_path, config, system_name)
+        if shard_path is not None
+        else None
+    )
+    fallback = _derive_fallback(backend)
+    state = _SweepState(backend, fallback, retry, writer, result)
+    # Re-apply sweep-level events the parent replayed from a checkpoint:
+    # a lost GPU stays lost, and a degraded sweep keeps counting its
+    # samples as fallback samples.
+    state.gpu_lost = gpu_lost
+    if degraded:
+        result.degraded = True
+    try:
+        series = _run_series(
+            state, problem_type, precision, config, transfers, done,
+            quarantined,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+    return (
+        series, result.quarantine, result.degraded, result.device_lost,
+        result.stats,
+    )
+
+
+def _run_parallel(
+    state: _SweepState,
+    shards,
+    config: RunConfig,
+    transfers: Tuple[TransferType, ...],
+    done: Dict[tuple, PerfSample],
+    quarantined_keys: set,
+    jobs: int,
+    system_name: Optional[str],
+) -> None:
+    """Shard series across a process pool; merge in submission order."""
+    import concurrent.futures
+    import multiprocessing
+    from pathlib import Path
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+
+    result = state.result
+    was_degraded = result.degraded
+    payloads = []
+    shard_paths = []
+    for i, (problem_type, precision) in enumerate(shards):
+        ident = (problem_type.kernel.value, problem_type.ident, precision.value)
+        done_sub = {k: v for k, v in done.items() if k[:3] == ident}
+        quarantined_sub = {k for k in quarantined_keys if k[:3] == ident}
+        shard_path = (
+            f"{state.writer.path}.shard-{i}" if state.writer is not None
+            else None
+        )
+        shard_paths.append(shard_path)
+        payloads.append((
+            state.backend, problem_type, precision, config, state.retry,
+            done_sub, quarantined_sub, shard_path, system_name, transfers,
+            state.gpu_lost, result.degraded,
+        ))
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(jobs, len(shards)), mp_context=ctx
+    ) as pool:
+        futures = [pool.submit(_sweep_shard_worker, p) for p in payloads]
+        outcomes = [f.result() for f in futures]
+    stats = result.stats
+    for (series, quarantine, degraded, device_lost, shard_stats), shard_path in zip(
+        outcomes, shard_paths
+    ):
+        result.series.append(series)
+        result.quarantine.extend(quarantine)
+        for entry in quarantine:
+            warnings.warn(
+                f"quarantined sweep cell: {entry}", PartialSweepWarning,
+                stacklevel=3,
+            )
+        if degraded and not was_degraded:
+            result.degraded = True
+        if device_lost:
+            result.device_lost = True
+        stats.retries += shard_stats.retries
+        stats.backoff_s += shard_stats.backoff_s
+        stats.resumed_samples += shard_stats.resumed_samples
+        stats.fallback_samples += shard_stats.fallback_samples
+        if shard_path is not None:
+            state.writer.merge_shard(shard_path)
+            Path(shard_path).unlink(missing_ok=True)
 
 
 def _run_cell(

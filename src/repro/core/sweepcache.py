@@ -1,0 +1,150 @@
+"""Content-addressed sweep cache.
+
+Re-running the exact same sweep is the common case of the golden-
+regression workflow: the tables/figures regenerate from configurations
+that have not changed.  The cache keys a JSON store on the checkpoint
+layer's config fingerprint (:func:`repro.faults.checkpoint
+.config_fingerprint`) combined with the backend's ``cache_token`` — the
+full parameterization of the model behind it — so a hit can only replay
+a run that would have been recomputed identically.
+
+Floats are stored as JSON numbers, which round-trip exactly, so a
+cache hit reproduces every ``PerfSample`` bit-for-bit and downstream
+CSVs stay byte-identical.  Only complete, fault-free, non-degraded runs
+are stored; anything else (quarantined cells, device loss, host
+measurements with no token) falls through to a real execution.
+
+Entries are written atomically (tmp file + rename) so concurrent
+sweeps racing on one store never expose a torn entry; an unreadable or
+version-skewed entry is treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from ..faults.checkpoint import config_fingerprint
+from ..types import DeviceKind, Dims, Kernel, Precision, TransferType
+from .config import RunConfig
+from .problem import get_problem_type
+from .records import PerfSample, ProblemSeries
+
+__all__ = ["load_cached_run", "store_run", "sweep_cache_key"]
+
+CACHE_VERSION = 1
+
+
+def sweep_cache_key(
+    config: RunConfig, system_name: Optional[str], backend
+) -> Optional[str]:
+    """SHA-256 content address of one (config, system, backend) sweep,
+    or ``None`` when the backend declines caching (no ``cache_token``)."""
+    token = getattr(backend, "cache_token", None)
+    if token is None:
+        return None
+    fingerprint = config_fingerprint(config, system_name)
+    return hashlib.sha256(f"{fingerprint}\n{token}".encode()).hexdigest()
+
+
+def _entry_path(cache_dir, key: str) -> Path:
+    return Path(cache_dir) / f"{key}.json"
+
+
+def _sample_record(sample: PerfSample) -> dict:
+    return {
+        "device": sample.device.value,
+        "transfer": sample.transfer.value if sample.transfer else None,
+        "m": sample.dims.m,
+        "n": sample.dims.n,
+        "k": sample.dims.k,
+        "iterations": sample.iterations,
+        "seconds": sample.seconds,
+        "gflops": sample.gflops,
+        "checksum_ok": sample.checksum_ok,
+    }
+
+
+def _parse_sample(rec: dict) -> PerfSample:
+    return PerfSample(
+        device=DeviceKind(rec["device"]),
+        transfer=TransferType(rec["transfer"]) if rec["transfer"] else None,
+        dims=Dims(rec["m"], rec["n"], rec["k"]),
+        iterations=rec["iterations"],
+        seconds=rec["seconds"],
+        gflops=rec["gflops"],
+        checksum_ok=rec["checksum_ok"],
+    )
+
+
+def store_run(cache_dir, backend, result) -> Optional[Path]:
+    """Store one completed run; returns the entry path (None if the
+    backend is uncacheable)."""
+    key = sweep_cache_key(result.config, result.system_name, backend)
+    if key is None:
+        return None
+    payload = {
+        "version": CACHE_VERSION,
+        "system": result.system_name,
+        "series": [
+            {
+                "kernel": series.kernel.value,
+                "ident": series.ident,
+                "precision": series.precision.value,
+                "iterations": series.iterations,
+                "samples": [_sample_record(s) for s in series.samples],
+            }
+            for series in result.series
+        ],
+    }
+    path = _entry_path(cache_dir, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_cached_run(
+    cache_dir, config: RunConfig, system_name: Optional[str], backend
+):
+    """Replay a stored run of the identical (config, system, backend)
+    triple; ``None`` on a miss (including unreadable entries)."""
+    from .runner import RunResult  # local import: runner imports us lazily
+
+    key = sweep_cache_key(config, system_name, backend)
+    if key is None:
+        return None
+    path = _entry_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        series_list: List[ProblemSeries] = []
+        count = 0
+        for rec in payload["series"]:
+            series = ProblemSeries(
+                problem_type=get_problem_type(
+                    Kernel(rec["kernel"]), rec["ident"]
+                ),
+                precision=Precision(rec["precision"]),
+                iterations=rec["iterations"],
+            )
+            for sample_rec in rec["samples"]:
+                series.add(_parse_sample(sample_rec))
+                count += 1
+            series_list.append(series)
+    except (KeyError, ValueError, OSError):
+        return None  # torn or stale entry: treat as a miss
+    result = RunResult(
+        config=config,
+        system_name=payload.get("system", system_name),
+        series=series_list,
+    )
+    result.stats.cached_samples = count
+    return result

@@ -176,6 +176,18 @@ class CheckpointWriter:
     def event(self, kind: str, detail: str = "") -> None:
         self._write({"t": "event", "kind": kind, "detail": detail})
 
+    def merge_shard(self, path) -> int:
+        """Append every record of a per-worker shard journal (written by
+        the parallel executor) to this journal, skipping the shard's own
+        header line.  Returns the number of records merged."""
+        if self._fh is None:  # pragma: no cover - defensive
+            raise CheckpointError("checkpoint writer is closed")
+        lines = Path(path).read_text().splitlines()
+        for line in lines[1:]:
+            self._fh.write(line + "\n")
+        self._fh.flush()
+        return max(0, len(lines) - 1)
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()

@@ -17,14 +17,16 @@ effective LLC — crossing that boundary is DAWN's {4089} cliff.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..blas.registry import CpuLibraryModel
-from ..core.flops import flops_for, kernel_bytes
+from ..core.flops import flops_for, flops_for_batch, kernel_bytes, kernel_bytes_batch
 from ..systems.specs import CpuSocketSpec
 from ..types import Dims, Kernel, Precision
 from .noise import NO_NOISE, NoiseModel
-from .quirks import quirk_factor
+from .quirks import quirk_factor, quirk_factor_batch
 
 __all__ = ["CpuModel"]
 
@@ -186,3 +188,152 @@ class CpuModel:
     ) -> float:
         t = self.time(dims, precision, iterations, beta=beta)
         return iterations * flops_for(dims, beta) / t / 1e9
+
+    # -- vectorized fast path -----------------------------------------
+    #
+    # Every ``*_batch`` method mirrors its scalar twin expression-for-
+    # expression (same operations, same association) so the two agree to
+    # the bit; the batch==scalar hypothesis test pins this.
+
+    def _engaged_threads_batch(self, flops: np.ndarray) -> np.ndarray:
+        lib = self.library
+        if lib.threading == "always-max":
+            return np.full(len(flops), self.max_threads, dtype=np.int64)
+        raw = (-((-flops) // lib.grain_flops)).astype(np.int64)
+        return np.maximum(1, np.minimum(self.max_threads, raw))
+
+    def _parallel_eff_batch(
+        self, flops: np.ndarray, threads: np.ndarray
+    ) -> np.ndarray:
+        lib = self.library
+        ramp = lib.ramp_flops * (threads - 1) / max(1, self.max_threads - 1)
+        ptw = flops / threads
+        floor = np.minimum(1.0, lib.eff_floor * self.spec.cores / threads)
+        eff = np.maximum(floor, ptw / (ptw + ramp))
+        return np.where(threads <= 1, 1.0, eff)
+
+    def _shape_eff_batch(
+        self, kernel: Kernel, m: np.ndarray, n: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        lib = self.library
+        out = np.minimum(m, n)
+        eff = out / (out + lib.out_half)
+        if kernel is Kernel.GEMM:
+            eff = eff * (k / (k + lib.k_half))
+            aspect = k / out
+            narrowed = eff * (
+                lib.k_aspect_half / (lib.k_aspect_half + aspect - 1.0)
+            )
+            eff = np.where(aspect > 1.0, narrowed, eff)
+        return np.maximum(eff, lib.shape_floor)
+
+    def _gemm_call_batch(
+        self,
+        m: np.ndarray,
+        n: np.ndarray,
+        k: np.ndarray,
+        precision: Precision,
+        warm: bool,
+        alpha: float,
+        beta: float,
+    ) -> np.ndarray:
+        lib = self.library
+        flops = flops_for_batch(Kernel.GEMM, m, n, k, beta)
+        threads = self._engaged_threads_batch(flops)
+        rate = (
+            self._peak_gflops(precision)
+            * (threads / self.max_threads)
+            * self._parallel_eff_batch(flops, threads)
+            * self._shape_eff_batch(Kernel.GEMM, m, n, k)
+            * lib.gemm_eff
+        ) * 1e9
+        compute = flops / rate
+        bytes_moved = kernel_bytes_batch(Kernel.GEMM, m, n, k, precision, beta)
+        memory = bytes_moved / (self.spec.mem_bw_gbs * 1e9)
+        if warm:
+            fits = bytes_moved <= self.spec.llc_bytes
+            compute = np.where(
+                fits, compute / self.spec.warm_compute_boost, compute
+            )
+            memory = np.where(
+                fits, bytes_moved / (self.spec.cache_bw_gbs * 1e9), memory
+            )
+        return lib.overhead_s + lib.sync_per_thread_s * threads + np.maximum(
+            compute, memory
+        )
+
+    def _gemv_call_batch(
+        self, m: np.ndarray, n: np.ndarray, precision: Precision, warm: bool
+    ) -> np.ndarray:
+        lib = self.library
+        spec = self.spec
+        k = np.zeros(len(m), dtype=np.int64)
+        bytes_moved = kernel_bytes_batch(Kernel.GEMV, m, n, k, precision)
+        if not lib.gemv_parallel:
+            threads = np.ones(len(m), dtype=np.int64)
+        elif lib.gemv_grain_rows is not None:
+            extent = np.maximum(m, n)
+            raw = (-((-extent) // lib.gemv_grain_rows)).astype(np.int64)
+            threads = np.maximum(1, np.minimum(self.max_threads, raw))
+        else:
+            raw = (-((-bytes_moved) // lib.gemv_grain_bytes)).astype(np.int64)
+            threads = np.maximum(1, np.minimum(self.max_threads, raw))
+        if warm:
+            engaged = self.max_threads if lib.gemv_parallel else 1
+            bw_hit = min(spec.cache_bw_gbs, engaged * spec.single_core_cache_bw_gbs)
+            bw_miss = min(spec.mem_bw_gbs, engaged * spec.single_core_mem_bw_gbs)
+            bw = np.where(bytes_moved <= spec.llc_bytes, bw_hit, bw_miss)
+        else:
+            bw = np.minimum(
+                spec.mem_bw_gbs, threads * spec.single_core_mem_bw_gbs
+            )
+        t = lib.gemv_overhead_s + bytes_moved / (bw * 1e9)
+        if lib.gemv_fanout:
+            t = t + lib.sync_per_thread_s * self.max_threads
+        else:
+            t = t + lib.sync_per_thread_s * threads
+        return t
+
+    def time_batch(
+        self,
+        dims_list: Sequence[Dims],
+        precision: Precision,
+        iterations: int = 1,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`time` over a same-kernel batch of problems.
+
+        Returns one total-seconds value per entry of ``dims_list``, each
+        bit-identical to the scalar path's answer for that entry.
+        """
+        if not len(dims_list):
+            return np.zeros(0)
+        kernel = dims_list[0].kernel
+        count = len(dims_list)
+        m = np.fromiter((d.m for d in dims_list), dtype=np.int64, count=count)
+        n = np.fromiter((d.n for d in dims_list), dtype=np.int64, count=count)
+        k = np.fromiter((d.k for d in dims_list), dtype=np.int64, count=count)
+        if kernel is Kernel.GEMM:
+            first = self._gemm_call_batch(m, n, k, precision, False, alpha, beta)
+            rest = (
+                self._gemm_call_batch(m, n, k, precision, True, alpha, beta)
+                if iterations > 1
+                else 0.0
+            )
+        else:
+            first = self._gemv_call_batch(m, n, precision, False)
+            rest = (
+                self._gemv_call_batch(m, n, precision, True)
+                if iterations > 1
+                else 0.0
+            )
+        total = first + (iterations - 1) * rest
+        total = total * quirk_factor_batch(
+            self.library.quirks, kernel, m, n, k, precision
+        )
+        name, pv = self.library.name, precision.value
+        total = total * self.noise.factor_batch([
+            ("cpu", name, d.as_tuple(), pv, iterations) for d in dims_list
+        ])
+        return total

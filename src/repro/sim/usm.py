@@ -29,7 +29,34 @@ from dataclasses import dataclass
 
 from ..systems.specs import LinkSpec, UsmSpec
 
-__all__ = ["MigrationPlan", "PageTable"]
+__all__ = ["MigrationPlan", "PageTable", "closed_form_unified_batch"]
+
+
+def closed_form_unified_batch(
+    usm: UsmSpec,
+    link: LinkSpec,
+    up_bytes,
+    down_bytes,
+    kernel_s,
+    iterations: int,
+):
+    """Vectorized closed-form Unified-Memory total (fractional pages).
+
+    ``up_bytes``/``down_bytes``/``kernel_s`` are equal-length NumPy
+    arrays (one sweep cell each); the return value mirrors the UNIFIED
+    branch of :meth:`repro.sim.perfmodel.NodePerfModel.gpu_time`
+    expression-for-expression, so each entry is bit-identical to the
+    scalar closed form — the same total the fractional (``quantize=
+    False``) :class:`PageTable` accounting reproduces one phase at a
+    time.
+    """
+    migrate_bw = link.bw_gbs * usm.migration_bw_scale * 1e9
+    faults = up_bytes / (usm.pages_per_fault * usm.page_bytes)
+    migrate_in = link.latency_s + faults * usm.fault_latency_s + up_bytes / migrate_bw
+    refresh_s = usm.iter_refresh_fraction * (up_bytes / (link.bw_gbs * 1e9))
+    per_iter = kernel_s + usm.iter_fault_s + refresh_s
+    writeback = link.latency_s + down_bytes / migrate_bw
+    return migrate_in + iterations * per_iter + writeback
 
 
 @dataclass(frozen=True)
