@@ -23,8 +23,22 @@ from .backends.des import DESBackend, DesBackend
 from .backends.host import CombinedBackend, HostCpuBackend
 from .backends.simulated import AnalyticBackend
 from .core.config import RunConfig
+from .core.fsck import Finding, fsck_paths
+from .core.invariants import InvariantContext, check_samples, validate_spec
 from .core.records import PerfSample, ProblemSeries, QuarantineEntry
 from .core.runner import RetryPolicy, RunResult, SweepStats, run_sweep
+from .core.sweepcache import prune_cache
+from .errors import (
+    CacheIntegrityWarning,
+    CheckpointError,
+    ConfigError,
+    IntegrityError,
+    ModelInvariantError,
+    ModelInvariantWarning,
+    PartialSweepWarning,
+    ReproError,
+    SweepFaultError,
+)
 from .core.threshold import (
     ThresholdResult,
     find_offload_threshold,
@@ -60,7 +74,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_PRECISIONS",
     "AnalyticBackend",
+    "CacheIntegrityWarning",
+    "CheckpointError",
     "CombinedBackend",
+    "ConfigError",
     "CpuSocketSpec",
     "DESBackend",
     "DesBackend",
@@ -69,31 +86,43 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "Finding",
     "GpuSpec",
     "HostCpuBackend",
+    "IntegrityError",
+    "InvariantContext",
     "Kernel",
     "LinkSpec",
     "MatrixEngineSpec",
+    "ModelInvariantError",
+    "ModelInvariantWarning",
     "PAPER_ITERATION_COUNTS",
+    "PartialSweepWarning",
     "PerfSample",
     "Precision",
     "ProblemSeries",
     "QuarantineEntry",
+    "ReproError",
     "RetryPolicy",
     "RunConfig",
     "RunResult",
+    "SweepFaultError",
     "SweepStats",
     "SystemSpec",
     "ThresholdResult",
     "TransferType",
     "UsmSpec",
     "backend_names",
+    "check_samples",
     "find_offload_threshold",
+    "fsck_paths",
     "make_backend",
     "get_system",
     "make_model",
+    "prune_cache",
     "register_system",
     "run_sweep",
     "system_names",
     "threshold_for_series",
+    "validate_spec",
 ]

@@ -9,10 +9,19 @@ Examples::
     gpu-blob -i 8 -d 512 --system lumi --faults --fault-rate 0.3 \
         --max-retries 2 --checkpoint ck.jsonl -o results/chaos
     gpu-blob -i 8 -d 512 --system lumi --checkpoint ck.jsonl --resume
+    gpu-blob -i 8 -d 512 --system dawn --strict -j 4
+    gpu-blob fsck results/dawn-i8 ck.jsonl --repair
+    gpu-blob cache prune --max-entries 32
 
 With ``-o`` the per-series CSVs land in the given directory (plus a
 ``quarantine.json`` report when samples were quarantined); without it
 the threshold summary table prints to stdout either way.
+
+Error exit codes map the three error families: configuration problems
+exit 2, sweep faults that escape the resilience machinery exit 3, and
+integrity failures (corrupt journals/cache entries, strict-mode model
+invariant violations) exit 4 — ``fsck`` uses the same 4 for any
+unrepaired finding.
 """
 
 from __future__ import annotations
@@ -26,12 +35,24 @@ from .core.config import RunConfig
 from .core.csvio import write_run
 from .core.runner import RetryPolicy, run_sweep
 from .core.tables import run_summary
-from .errors import ReproError
+from .errors import IntegrityError, ReproError, SweepFaultError
 from .faults import FaultPlan
 from .systems.catalog import make_model, system_names
 from .types import ALL_PRECISIONS, Kernel, Precision, TransferType
 
 __all__ = ["build_parser", "main"]
+
+#: Default location of the content-addressed sweep cache.
+DEFAULT_CACHE_DIR = "results/.sweep-cache"
+
+
+def _exit_code(exc: ReproError) -> int:
+    """Config = 2, sweep fault = 3, integrity = 4 (see module doc)."""
+    if isinstance(exc, IntegrityError):
+        return 4
+    if isinstance(exc, SweepFaultError):
+        return 3
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay completed samples from --checkpoint instead of "
         "re-running them",
     )
+    resilience.add_argument(
+        "--strict", action="store_true",
+        help="model-invariant guard rejects (exit 4) any sample faster "
+        "than the link-bandwidth floor or above the roofline of its "
+        "own SystemSpec, and any inconsistently calibrated spec; the "
+        "default only warns",
+    )
+    resilience.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per parallel shard under -j; an "
+        "overrun kills and re-submits the shard (default: none)",
+    )
     execution = parser.add_argument_group("execution")
     execution.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
@@ -139,10 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1: in-process)",
     )
     execution.add_argument(
-        "--cache-dir", metavar="DIR", default="results/.sweep-cache",
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
         help="content-addressed sweep cache; re-running an identical "
         "(config, system, backend) sweep replays the stored samples "
-        "(default results/.sweep-cache)",
+        f"(default {DEFAULT_CACHE_DIR})",
     )
     execution.add_argument(
         "--no-cache", action="store_true",
@@ -174,7 +207,109 @@ def _precisions(choice: str):
     return ALL_PRECISIONS
 
 
+def build_fsck_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob fsck",
+        description=(
+            "Audit sweep artifacts — checkpoint journals (*.jsonl), "
+            "sweep-cache entries, results CSVs — against their embedded "
+            "checksums and plausibility invariants.  Exits 0 when "
+            "everything verifies, 4 when problems remain."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="journal files, cache/results directories, or individual "
+        f"artifacts (default: the {DEFAULT_CACHE_DIR} cache)",
+    )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="move damage out of the way instead of just reporting it: "
+        "bad journal lines go to a .bad sidecar (the journal is "
+        "rewritten with only verified records), bad cache entries and "
+        "CSVs move into a quarantine/ subdirectory",
+    )
+    return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob cache",
+        description="Manage the content-addressed sweep cache.",
+    )
+    sub = parser.add_subparsers(dest="cache_command", required=True)
+    prune = sub.add_parser(
+        "prune", help="LRU-evict entries until the store fits the bounds"
+    )
+    prune.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    prune.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep at most N entries (default: unlimited)",
+    )
+    prune.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="keep at most N bytes of entries (default: unlimited)",
+    )
+    return parser
+
+
+def _main_fsck(argv: List[str]) -> int:
+    from .core.fsck import fsck_paths
+
+    args = build_fsck_parser().parse_args(argv)
+    paths = args.paths or [DEFAULT_CACHE_DIR]
+    try:
+        findings = fsck_paths(paths, repair=args.repair)
+    except ReproError as exc:
+        print(f"gpu-blob: error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+    for finding in findings:
+        print(finding)
+    unrepaired = [f for f in findings if not f.repaired]
+    if not findings:
+        print("fsck: all artifacts verify")
+    elif not unrepaired:
+        print(f"fsck: repaired {len(findings)} problem(s)")
+    else:
+        print(
+            f"fsck: {len(unrepaired)} problem(s) remain"
+            + ("" if args.repair else " (re-run with --repair)"),
+            file=sys.stderr,
+        )
+    return 4 if unrepaired else 0
+
+
+def _main_cache(argv: List[str]) -> int:
+    from .core.sweepcache import prune_cache
+
+    args = build_cache_parser().parse_args(argv)
+    try:
+        evicted = prune_cache(
+            args.cache_dir,
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+        )
+    except ReproError as exc:
+        print(f"gpu-blob: error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+    print(f"pruned {len(evicted)} cache entr{'y' if len(evicted) == 1 else 'ies'}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fsck":
+        return _main_fsck(argv[1:])
+    if argv and argv[0] == "cache":
+        return _main_cache(argv[1:])
+    return _main_sweep(argv)
+
+
+def _main_sweep(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
     try:
         config = RunConfig(
@@ -189,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 TransferType(t) for t in (args.transfers or ())
             ) or tuple(TransferType),
             gpu_enabled=not args.cpu_only,
+            validate=args.strict,
         )
         if args.backend == "host":
             backend = make_backend("host")
@@ -219,12 +355,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend, config, system_name=system_name,
             faults=faults, retry=retry,
             checkpoint=args.checkpoint, resume=args.resume,
-            jobs=args.jobs,
+            jobs=args.jobs, shard_timeout_s=args.shard_timeout,
             cache_dir=None if args.no_cache else args.cache_dir,
         )
     except ReproError as exc:
         print(f"gpu-blob: error: {exc}", file=sys.stderr)
-        return 2
+        return _exit_code(exc)
     if args.output:
         paths = write_run(result, args.output)
         print(f"wrote {len(paths)} file(s) to {args.output}")
@@ -247,6 +383,16 @@ def _print_resilience_report(result) -> None:
         print(
             f"retried {stats.retries} time(s); "
             f"{stats.backoff_s:.2f}s simulated backoff"
+        )
+    if stats.worker_retries:
+        print(
+            f"recovered from {stats.worker_retries} parallel-shard "
+            f"failure(s) (worker death or deadline overrun)"
+        )
+    if stats.inprocess_shards:
+        print(
+            f"degraded {stats.inprocess_shards} shard(s) to in-process "
+            "execution after repeated pool failures"
         )
     if result.degraded:
         print("sweep degraded to the analytic fallback backend")

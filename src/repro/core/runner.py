@@ -73,6 +73,12 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..types import DeviceKind, Kernel, Precision, TransferType
 from .config import RunConfig
+from .invariants import (
+    InvariantContext,
+    guard_samples,
+    guard_spec,
+    invariant_context,
+)
 from .records import PerfSample, ProblemSeries, QuarantineEntry
 from .threshold import ThresholdResult, threshold_for_series
 
@@ -148,6 +154,10 @@ class SweepStats:
     fallback_samples: int = 0
     #: samples replayed from the content-addressed sweep cache
     cached_samples: int = 0
+    #: parallel shards re-submitted after a worker death or deadline
+    worker_retries: int = 0
+    #: parallel shards that exhausted pool retries and ran in-process
+    inprocess_shards: int = 0
 
 
 @dataclass
@@ -243,13 +253,22 @@ class _SweepState:
     """Mutable per-sweep machinery shared by every cell."""
 
     def __init__(self, backend, fallback, retry: RetryPolicy,
-                 writer: Optional[CheckpointWriter], result: RunResult):
+                 writer: Optional[CheckpointWriter], result: RunResult,
+                 ctx: Optional[InvariantContext] = None,
+                 strict: bool = False):
         self.backend = backend
         self.fallback = fallback
         self.retry = retry
         self.writer = writer
         self.result = result
         self.gpu_lost = False
+        #: model-invariant guard context (spec + noise slack) and mode
+        self.ctx = ctx if ctx is not None else invariant_context(backend)
+        self.strict = strict
+
+    def guard(self, samples, precision: Precision) -> None:
+        """Invariant-check freshly produced samples (replays skip)."""
+        guard_samples(samples, precision, self.ctx, self.strict)
 
     def can_batch(self) -> bool:
         """Whether the vectorized fast path may replace per-cell calls.
@@ -385,6 +404,7 @@ def run_sweep(
     checkpoint=None,
     resume: bool = False,
     jobs: int = 1,
+    shard_timeout_s: Optional[float] = None,
     cache_dir=None,
 ) -> RunResult:
     """Execute one GPU-BLOB sweep of ``config`` on ``backend``.
@@ -413,7 +433,21 @@ def run_sweep(
     ``jobs``
         shard the (problem type, precision) series across a process
         pool of this many workers; ``1`` (the default) runs in-process.
-        The merged result is bit-identical to a serial run.
+        The merged result is bit-identical to a serial run.  The pool
+        is *supervised*: a shard whose worker dies (``BrokenProcessPool``)
+        or blows its deadline is re-submitted on a fresh pool with
+        simulated backoff, and after :data:`_MAX_SHARD_RETRIES` failed
+        pool attempts it degrades to in-process execution in the parent
+        — the sweep completes unattended either way, with every
+        recovery journaled (``shard-retry`` / ``shard-inprocess``
+        events) and counted on :class:`SweepStats`.
+    ``shard_timeout_s``
+        wall-clock deadline per parallel shard.  An overrun kills the
+        pool and re-submits the late shard (other shards keep their
+        finished results and are re-run without penalty).  ``None`` (the
+        default) waits indefinitely; ignored when the sweep runs
+        serially.  In-process degradation trades the deadline for
+        completion: a shard on its last resort is never killed.
     ``cache_dir``
         directory of the content-addressed sweep cache.  A prior run of
         the identical (config, system, backend) triple is replayed from
@@ -433,8 +467,20 @@ def run_sweep(
         from ..errors import ConfigError
 
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if shard_timeout_s is not None and shard_timeout_s <= 0:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"shard_timeout_s must be > 0, got {shard_timeout_s}"
+        )
     if fallback is None:
         fallback = _derive_fallback(backend)
+
+    # Model-invariant guard: audit the spec's own calibration up front
+    # (strict mode rejects a spec calibrated above its own link peak),
+    # then check every fresh sample as the sweep produces it.
+    ctx = invariant_context(backend)
+    guard_spec(ctx, config.validate)
 
     cacheable = (
         cache_dir is not None
@@ -481,7 +527,10 @@ def run_sweep(
         if checkpoint is not None
         else None
     )
-    state = _SweepState(backend, fallback, retry, writer, result)
+    state = _SweepState(
+        backend, fallback, retry, writer, result,
+        ctx=ctx, strict=config.validate,
+    )
     if resumed is not None:
         done = resumed.samples
         result.quarantine.extend(resumed.quarantine)
@@ -510,7 +559,7 @@ def run_sweep(
         if use_parallel:
             _run_parallel(
                 state, shards, config, transfers, done, quarantined_keys,
-                jobs, system_name,
+                jobs, system_name, shard_timeout_s,
             )
         else:
             for problem_type, precision in shards:
@@ -637,6 +686,7 @@ def _run_series_batched(
         except Exception:
             return None
         for device, transfer, fresh in fresh_columns:
+            state.guard(fresh, precision)
             _extend_column(series, device, transfer, fresh)
             if state.result.degraded:
                 state.result.stats.fallback_samples += len(fresh)
@@ -690,6 +740,11 @@ def _run_series_batched(
     except Exception:
         return None
 
+    # Invariant-check every fresh column before the series or journal
+    # is touched: a strict-mode rejection leaves no partial state.
+    for _cells, fresh, _keys in evaluated:
+        state.guard(fresh, precision)
+
     missing = 0
     stats = state.result.stats
     for (cells, fresh, fresh_keys) in evaluated:
@@ -737,11 +792,24 @@ def _sweep_shard_worker(payload: tuple):
 
     Returns ``(series, quarantine, degraded, device_lost, stats)`` —
     everything the parent needs for a deterministic ordered merge.
+
+    Chaos hook: setting ``REPRO_CHAOS_KILL_SHARD=<index>`` hard-kills
+    the worker assigned that shard (``os._exit``, no cleanup — the way
+    an OOM kill or node failure looks to the parent).  The guard on the
+    parent pid means only *pool* attempts die; the supervised executor's
+    last-resort in-process attempt runs in the parent and survives, so a
+    kill-always chaos run still completes.
     """
+    import os
+
     (
         backend, problem_type, precision, config, retry, done, quarantined,
         shard_path, system_name, transfers, gpu_lost, degraded,
+        shard_index, parent_pid,
     ) = payload
+    chaos = os.environ.get("REPRO_CHAOS_KILL_SHARD")
+    if chaos == str(shard_index) and os.getpid() != parent_pid:
+        os._exit(1)
     result = RunResult(config=config, system_name=system_name)
     writer = (
         CheckpointWriter(shard_path, config, system_name)
@@ -749,7 +817,9 @@ def _sweep_shard_worker(payload: tuple):
         else None
     )
     fallback = _derive_fallback(backend)
-    state = _SweepState(backend, fallback, retry, writer, result)
+    state = _SweepState(
+        backend, fallback, retry, writer, result, strict=config.validate
+    )
     # Re-apply sweep-level events the parent replayed from a checkpoint:
     # a lost GPU stays lost, and a degraded sweep keeps counting its
     # samples as fallback samples.
@@ -770,6 +840,38 @@ def _sweep_shard_worker(payload: tuple):
     )
 
 
+#: Pool attempts per shard before the supervised executor gives up on
+#: process isolation and runs the shard in the parent: the initial
+#: submission plus this many re-submissions on fresh pools.
+_MAX_SHARD_RETRIES = 2
+
+
+def _shard_label(shards, i: int) -> str:
+    problem_type, precision = shards[i]
+    return (
+        f"shard {i} ({problem_type.kernel.value}/{problem_type.ident}/"
+        f"{precision.value})"
+    )
+
+
+def _terminate_pool(pool) -> None:
+    """Tear a pool down *now*: a deadline overrun means a worker is
+    wedged, so a cooperative shutdown would block behind it.
+
+    The process list must be snapshotted *before* ``shutdown()`` —
+    ``Executor.shutdown`` drops its ``_processes`` reference even with
+    ``wait=False``, and a wedged worker left running would block
+    interpreter exit behind the executor's atexit join.
+    """
+    import contextlib
+
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        with contextlib.suppress(Exception):
+            proc.terminate()
+
+
 def _run_parallel(
     state: _SweepState,
     shards,
@@ -779,10 +881,26 @@ def _run_parallel(
     quarantined_keys: set,
     jobs: int,
     system_name: Optional[str],
+    shard_timeout_s: Optional[float] = None,
 ) -> None:
-    """Shard series across a process pool; merge in submission order."""
+    """Shard series across a *supervised* process pool; merge in
+    submission order.
+
+    Supervision loop: every round submits the still-pending shards to a
+    fresh pool and waits on each future (bounded by ``shard_timeout_s``).
+    A worker death (``BrokenProcessPool``) charges every shard that lost
+    its result; a deadline overrun kills the wedged pool and charges
+    only the late shard — siblings keep finished results and re-run
+    uncharged.  A shard that fails :data:`_MAX_SHARD_RETRIES` + 1 pool
+    attempts runs in-process in the parent, which cannot be killed, so
+    the sweep always completes.  Backoff between attempts is simulated
+    (accumulated on stats, never slept), recoveries are journaled as
+    ``shard-retry`` / ``shard-inprocess`` events, and the merged result
+    stays bit-identical to a clean serial run.
+    """
     import concurrent.futures
     import multiprocessing
+    import os
     from pathlib import Path
 
     try:
@@ -791,7 +909,9 @@ def _run_parallel(
         ctx = multiprocessing.get_context()
 
     result = state.result
+    stats = result.stats
     was_degraded = result.degraded
+    parent_pid = os.getpid()
     payloads = []
     shard_paths = []
     for i, (problem_type, precision) in enumerate(shards):
@@ -806,14 +926,102 @@ def _run_parallel(
         payloads.append((
             state.backend, problem_type, precision, config, state.retry,
             done_sub, quarantined_sub, shard_path, system_name, transfers,
-            state.gpu_lost, result.degraded,
+            state.gpu_lost, result.degraded, i, parent_pid,
         ))
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(jobs, len(shards)), mp_context=ctx
-    ) as pool:
-        futures = [pool.submit(_sweep_shard_worker, p) for p in payloads]
-        outcomes = [f.result() for f in futures]
-    stats = result.stats
+
+    def charge(i: int, reason: str) -> None:
+        attempts[i] += 1
+        stats.worker_retries += 1
+        stats.backoff_s += state.retry.backoff_s(
+            min(attempts[i], state.retry.max_retries + 1), ("shard", i)
+        )
+        if state.writer is not None:
+            state.writer.event(
+                "shard-retry",
+                f"{_shard_label(shards, i)} attempt {attempts[i]} "
+                f"failed: {reason}",
+            )
+
+    outcomes: List[Optional[tuple]] = [None] * len(payloads)
+    attempts = [0] * len(payloads)
+    pending = list(range(len(payloads)))
+    while pending:
+        # Last resort for shards that burned every pool attempt: run
+        # them right here in the parent.  No process isolation and no
+        # deadline — but nothing left to crash, either.
+        exhausted = [i for i in pending if attempts[i] > _MAX_SHARD_RETRIES]
+        for i in exhausted:
+            stats.inprocess_shards += 1
+            if state.writer is not None:
+                state.writer.event(
+                    "shard-inprocess",
+                    f"{_shard_label(shards, i)} degraded to in-process "
+                    f"execution after {attempts[i]} failed pool attempts",
+                )
+            # Quarantine warnings are re-emitted by the merge loop (as
+            # they are for pool shards, whose warnings die with the
+            # worker process) — mute the duplicates from running in the
+            # parent.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PartialSweepWarning)
+                outcomes[i] = _sweep_shard_worker(payloads[i])
+        pending = [i for i in pending if attempts[i] <= _MAX_SHARD_RETRIES]
+        if not pending:
+            break
+        # Blast-radius control: a shard that already broke a pool runs
+        # in its own single-worker pool this round, so a repeat death
+        # cannot take its siblings' work (and attempt budgets) with it.
+        # First-attempt shards share one pool for throughput.
+        fresh = [i for i in pending if attempts[i] == 0]
+        groups = ([fresh] if fresh else []) + [
+            [i] for i in pending if attempts[i] > 0
+        ]
+        still = []
+        for group in groups:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(group)), mp_context=ctx
+            )
+            futures = {
+                i: pool.submit(_sweep_shard_worker, payloads[i])
+                for i in group
+            }
+            try:
+                deadline_hit = False
+                for i, future in futures.items():
+                    if deadline_hit:
+                        # The pool is dead; salvage whatever finished
+                        # before the kill, re-run the rest uncharged
+                        # (our own termination broke their futures, not
+                        # their fault).
+                        salvaged = False
+                        if future.done() and not future.cancelled():
+                            try:
+                                outcomes[i] = future.result()
+                                salvaged = True
+                            except Exception:
+                                pass
+                        if not salvaged:
+                            still.append(i)
+                        continue
+                    try:
+                        outcomes[i] = future.result(timeout=shard_timeout_s)
+                    except concurrent.futures.TimeoutError:
+                        still.append(i)
+                        charge(
+                            i,
+                            f"deadline of {shard_timeout_s:.3g}s exceeded",
+                        )
+                        _terminate_pool(pool)
+                        deadline_hit = True
+                    except Exception:
+                        # A dead worker breaks its whole pool: every
+                        # shard whose future now raises lost its result
+                        # and is charged a pool attempt.
+                        still.append(i)
+                        charge(i, "worker died")
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+        pending = still
     for (series, quarantine, degraded, device_lost, shard_stats), shard_path in zip(
         outcomes, shard_paths
     ):
@@ -901,6 +1109,7 @@ def _run_cell(
     sample = state.sample_cell(fn, key, make_entry)
     if sample is None:
         return "quarantined"
+    state.guard((sample,), precision)
     series.add(sample)
     if state.writer is not None:
         state.writer.sample(key, sample)

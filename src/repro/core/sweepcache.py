@@ -14,28 +14,48 @@ CSVs stay byte-identical.  Only complete, fault-free, non-degraded runs
 are stored; anything else (quarantined cells, device loss, host
 measurements with no token) falls through to a real execution.
 
-Entries are written atomically (tmp file + rename) so concurrent
-sweeps racing on one store never expose a torn entry; an unreadable or
-version-skewed entry is treated as a miss and overwritten.
+Integrity: every entry embeds a ``payload_sha256`` over its canonical
+payload, verified on load — a flipped byte inside syntactically valid
+JSON is a *warned* miss (:class:`~repro.errors.CacheIntegrityWarning`),
+never a silent replay of corrupted data.  Entries are written atomically
+(tmp file + rename) under a cross-process ``flock`` so concurrent
+sweeps racing on one store never expose a torn entry; a stale-format
+entry is treated as a quiet miss and overwritten.
+
+Hits refresh an entry's mtime, which is the recency order
+:func:`prune_cache` (``gpu-blob cache prune``) evicts against.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import List, Optional
 
+from ..errors import CacheIntegrityWarning, ConfigError
 from ..faults.checkpoint import config_fingerprint
 from ..types import DeviceKind, Dims, Kernel, Precision, TransferType
 from .config import RunConfig
 from .problem import get_problem_type
 from .records import PerfSample, ProblemSeries
 
-__all__ = ["load_cached_run", "store_run", "sweep_cache_key"]
+__all__ = [
+    "load_cached_run",
+    "payload_digest",
+    "prune_cache",
+    "store_run",
+    "sweep_cache_key",
+]
 
-CACHE_VERSION = 1
+#: v2 added the ``payload_sha256`` integrity digest.
+CACHE_VERSION = 2
+
+#: Cross-process writer lock, held only around mutations of the store.
+LOCK_FILENAME = ".lock"
 
 
 def sweep_cache_key(
@@ -48,6 +68,36 @@ def sweep_cache_key(
         return None
     fingerprint = config_fingerprint(config, system_name)
     return hashlib.sha256(f"{fingerprint}\n{token}".encode()).hexdigest()
+
+
+def payload_digest(payload: dict) -> str:
+    """SHA-256 of an entry payload's canonical JSON form (everything
+    except the ``version``/``payload_sha256`` envelope fields)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@contextlib.contextmanager
+def _cache_lock(cache_dir):
+    """Exclusive cross-process lock over one cache directory.
+
+    Uses ``flock`` on a sidecar ``.lock`` file; platforms without
+    ``fcntl`` fall back to the atomic-rename guarantee alone (writers
+    can then race, but never tear an entry).
+    """
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    with (cache_dir / LOCK_FILENAME).open("w") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
 
 
 def _entry_path(cache_dir, key: str) -> Path:
@@ -87,7 +137,6 @@ def store_run(cache_dir, backend, result) -> Optional[Path]:
     if key is None:
         return None
     payload = {
-        "version": CACHE_VERSION,
         "system": result.system_name,
         "series": [
             {
@@ -100,31 +149,59 @@ def store_run(cache_dir, backend, result) -> Optional[Path]:
             for series in result.series
         ],
     }
+    entry = {
+        "version": CACHE_VERSION,
+        "payload_sha256": payload_digest(payload),
+        **payload,
+    }
     path = _entry_path(cache_dir, key)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(f".tmp-{os.getpid()}")
-    tmp.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
-    tmp.replace(path)
+    with _cache_lock(path.parent):
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(entry, separators=(",", ":")) + "\n")
+        tmp.replace(path)
     return path
+
+
+def _warn_corrupt(path: Path, why: str) -> None:
+    warnings.warn(
+        f"sweep-cache entry {path.name} {why}; treating it as a miss "
+        "(run `gpu-blob fsck` to audit, `--repair` to quarantine)",
+        CacheIntegrityWarning,
+        stacklevel=4,
+    )
 
 
 def load_cached_run(
     cache_dir, config: RunConfig, system_name: Optional[str], backend
 ):
     """Replay a stored run of the identical (config, system, backend)
-    triple; ``None`` on a miss (including unreadable entries)."""
+    triple; ``None`` on a miss.  Unparseable or digest-mismatched
+    entries are warned misses, stale format versions quiet ones."""
     from .runner import RunResult  # local import: runner imports us lazily
 
     key = sweep_cache_key(config, system_name, backend)
     if key is None:
         return None
     path = _entry_path(cache_dir, key)
-    if not path.exists():
+    try:
+        text = path.read_text()
+    except OSError:
+        return None  # absent (or racing eviction): a plain miss
+    try:
+        entry = json.loads(text)
+    except ValueError:
+        _warn_corrupt(path, "is not parseable JSON")
+        return None
+    if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+        return None  # stale format: recompute and overwrite quietly
+    payload = {
+        k: v for k, v in entry.items()
+        if k not in ("version", "payload_sha256")
+    }
+    if entry.get("payload_sha256") != payload_digest(payload):
+        _warn_corrupt(path, "failed its payload sha256 check")
         return None
     try:
-        payload = json.loads(path.read_text())
-        if payload.get("version") != CACHE_VERSION:
-            return None
         series_list: List[ProblemSeries] = []
         count = 0
         for rec in payload["series"]:
@@ -139,8 +216,11 @@ def load_cached_run(
                 series.add(_parse_sample(sample_rec))
                 count += 1
             series_list.append(series)
-    except (KeyError, ValueError, OSError):
-        return None  # torn or stale entry: treat as a miss
+    except (KeyError, TypeError, ValueError):
+        _warn_corrupt(path, "does not decode to a stored run")
+        return None
+    with contextlib.suppress(OSError):
+        os.utime(path)  # refresh LRU recency for `cache prune`
     result = RunResult(
         config=config,
         system_name=payload.get("system", system_name),
@@ -148,3 +228,44 @@ def load_cached_run(
     )
     result.stats.cached_samples = count
     return result
+
+
+def prune_cache(
+    cache_dir,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> List[Path]:
+    """LRU-evict cache entries until the store fits the given bounds.
+
+    Recency is the entry mtime (hits refresh it); the oldest entries go
+    first.  Returns the evicted paths.  ``None`` bounds are unlimited.
+    """
+    for label, bound in (("max_entries", max_entries), ("max_bytes", max_bytes)):
+        if bound is not None and bound < 0:
+            raise ConfigError(f"{label} must be >= 0, got {bound}")
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return []
+    evicted: List[Path] = []
+    with _cache_lock(cache_dir):
+        entries = []
+        for path in cache_dir.glob("*.json"):
+            try:
+                st = path.stat()
+            except OSError:  # pragma: no cover - racing writer
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            over_entries = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not (over_entries or over_bytes):
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+            evicted.append(path)
+            count -= 1
+            total -= size
+    return evicted

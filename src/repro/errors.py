@@ -12,19 +12,34 @@ come from a real backend or from the deterministic
 exponential backoff, quarantines samples that exhaust their retries,
 and degrades gracefully on the permanent ones.
 
+A third family, *integrity* errors (:class:`IntegrityError` and
+subclasses), means an artifact or a model output cannot be trusted: a
+checkpoint journal with a flipped byte, a sweep-cache entry whose
+payload digest no longer matches, or a model sample that violates a
+physical invariant of its own :class:`~repro.systems.specs.SystemSpec`
+(:class:`ModelInvariantError`).  The CLI maps the three families to
+distinct exit codes (config = 2, fault = 3, integrity = 4).
+
 ``PartialSweepWarning`` is the warning category for every "the sweep
 completed but is missing something" condition: unsupported transfer
 paradigms, quarantined samples, thresholds computed over gaps, and
-CPU-only continuation after device loss.
+CPU-only continuation after device loss.  ``CacheIntegrityWarning``
+flags sweep-cache entries that failed their digest or parse check (a
+warned miss, never a silent one); ``ModelInvariantWarning`` is the
+non-strict form of the model-invariant guard.
 """
 
 from __future__ import annotations
 
 __all__ = [
+    "CacheIntegrityWarning",
     "CheckpointError",
     "ConfigError",
     "DeferredFeatureError",
     "DeviceLostError",
+    "IntegrityError",
+    "ModelInvariantError",
+    "ModelInvariantWarning",
     "PartialSweepWarning",
     "ReproError",
     "ReproWarning",
@@ -106,9 +121,29 @@ class DeviceLostError(SweepFaultError):
     """
 
 
-class CheckpointError(ReproError):
+# -- integrity --------------------------------------------------------
+
+
+class IntegrityError(ReproError):
+    """Base class for "this artifact or model output cannot be trusted"
+    failures: corrupt journals, digest-mismatched cache entries, and
+    model-invariant violations.  The CLI exits 4 on these."""
+
+
+class CheckpointError(IntegrityError):
     """A sweep checkpoint file is unreadable, corrupt, or belongs to a
     different configuration than the resuming run."""
+
+
+class ModelInvariantError(IntegrityError):
+    """A backend produced a physically implausible sample, or a
+    :class:`~repro.systems.specs.SystemSpec` is calibrated inconsistently
+    (e.g. an effective link bandwidth above its own link peak).
+
+    Raised by the model-invariant guard in strict mode
+    (``RunConfig.validate=True`` / ``--strict``); the default mode emits
+    :class:`ModelInvariantWarning` instead.
+    """
 
 
 #: Fault errors the resilient runner retries with backoff; everything
@@ -126,3 +161,14 @@ class ReproWarning(UserWarning):
 class PartialSweepWarning(ReproWarning):
     """The sweep completed, but some requested cells are missing —
     unsupported paradigms, quarantined samples, or device loss."""
+
+
+class CacheIntegrityWarning(ReproWarning):
+    """A sweep-cache entry failed its integrity check (unparseable JSON
+    or a payload-digest mismatch) and was treated as a miss."""
+
+
+class ModelInvariantWarning(ReproWarning):
+    """A model output or spec violated a physical invariant, and the
+    sweep is not running in strict mode (``RunConfig.validate=False``).
+    The sample is kept; re-run with ``--strict`` to reject it."""

@@ -12,10 +12,17 @@ most the in-flight sample:
   uninterrupted one.
 * ``quarantine`` — a cell that exhausted its retries.
 * ``event`` — sweep-level state changes (``device-lost``, ``degraded``)
-  that the resuming runner must re-apply.
+  that the resuming runner must re-apply, plus informational worker-
+  supervision events (``shard-retry``, ``shard-inprocess``).
+
+Every record carries a ``cs`` field — a truncated SHA-256 of the
+record's canonical JSON form without it — so a flipped byte inside a
+*syntactically valid* line can never replay as truth: checksums are
+verified on load and by ``repro fsck``.
 
 A torn final line (the classic crash artifact) is dropped on read;
-corruption anywhere else raises :class:`~repro.errors.CheckpointError`.
+corruption anywhere else — unparseable JSON or a failed record
+checksum — raises :class:`~repro.errors.CheckpointError`.
 """
 
 from __future__ import annotations
@@ -35,10 +42,12 @@ __all__ = [
     "CheckpointState",
     "CheckpointWriter",
     "config_fingerprint",
+    "record_checksum",
     "sample_key",
 ]
 
-FORMAT_VERSION = 1
+#: v2 added the per-record ``cs`` integrity checksum.
+FORMAT_VERSION = 2
 
 #: The key one sweep cell is checkpointed and resumed under.
 SampleKey = Tuple[str, str, str, str, Optional[str], int, int, int, int]
@@ -86,6 +95,17 @@ def config_fingerprint(config, system_name: Optional[str]) -> str:
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def record_checksum(record: dict) -> str:
+    """Truncated SHA-256 of a journal record's canonical JSON form,
+    excluding the ``cs`` field itself.  Canonicalization (sorted keys,
+    compact separators) makes the digest independent of field order, so
+    hand-repaired or merged records verify as long as their *values*
+    are intact."""
+    body = {k: v for k, v in record.items() if k != "cs"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def _key_fields(key: SampleKey) -> dict:
@@ -150,6 +170,7 @@ class CheckpointWriter:
     def _write(self, record: dict) -> None:
         if self._fh is None:  # pragma: no cover - defensive
             raise CheckpointError("checkpoint writer is closed")
+        record["cs"] = record_checksum(record)
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._fh.flush()
 
@@ -232,13 +253,20 @@ class CheckpointReader:
         records: List[dict] = []
         for i, line in enumerate(lines):
             try:
-                records.append(json.loads(line))
+                rec = json.loads(line)
             except ValueError:
                 if i == len(lines) - 1:
                     break  # torn final line from a crash: drop it
                 raise CheckpointError(
                     f"checkpoint {path} is corrupt at line {i + 1}"
                 )
+            if not isinstance(rec, dict) or rec.get("cs") != record_checksum(rec):
+                raise CheckpointError(
+                    f"checkpoint {path} failed its record checksum at "
+                    f"line {i + 1}; the journal has been corrupted "
+                    "(run `gpu-blob fsck` to audit and repair it)"
+                )
+            records.append(rec)
         if not records or records[0].get("t") != "header":
             raise CheckpointError(f"checkpoint {path} has no header line")
         header = records[0]
