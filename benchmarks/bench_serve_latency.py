@@ -1,0 +1,307 @@
+"""Serving-daemon latency under a bursty open-loop trace.
+
+Starts the ``repro.serve`` daemon in-process on an ephemeral port and
+replays a seeded trace of threshold queries against it: mostly *hot*
+keys (a small pool of repeated configurations the cache absorbs) mixed
+with *cold* keys (unique configurations that each force one sweep),
+issued in bursts by ``--concurrency`` open-loop senders that fire at
+scheduled arrival times whether or not earlier responses are back.
+
+Reports client-side p50/p99 latency split by hot/cold, end-to-end
+throughput, and the daemon's own ``/metrics`` view (hit rate, coalesced
+jobs, sweeps executed).  Writes ``results/BENCH_serve_latency.json``.
+Runnable standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve_latency.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve_latency.py --check
+
+``--check`` exits non-zero unless the daemon's hit rate clears
+``HIT_RATE_FLOOR`` and a warm ``include_series`` response is
+byte-identical to the CSV the sweep writer produces for the same
+configuration (the serving contract: the API is the CSV, served hot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from harness import RESULTS_DIR, run_once
+from repro.backends import make_backend
+from repro.core.config import RunConfig
+from repro.core.csvio import write_series
+from repro.core.runner import run_sweep
+from repro.serve.client import ServeClient
+from repro.serve.service import ServeConfig, start_server
+from repro.types import Kernel, Precision
+
+SYSTEM = "dawn"
+SEED = 20260808
+#: daemon-level cache hit-rate floor for --check (the trace is ~80%
+#: hot traffic over a handful of keys; measured rates sit near 0.75)
+HIT_RATE_FLOOR = 0.5
+
+#: the hot pool: few configurations, queried over and over
+HOT_BODIES = [
+    {"system": "dawn", "kernel": "gemm", "problem": "square",
+     "precision": "single", "iterations": 8, "paradigm": "once",
+     "min_dim": 1, "max_dim": 96, "step": 16},
+    {"system": "dawn", "kernel": "gemm", "problem": "square",
+     "precision": "double", "iterations": 8, "paradigm": "always",
+     "min_dim": 1, "max_dim": 96, "step": 16},
+    {"system": "lumi", "kernel": "gemv", "problem": "square",
+     "precision": "single", "iterations": 4, "paradigm": "once",
+     "min_dim": 1, "max_dim": 96, "step": 16},
+    {"system": "isambard-ai", "kernel": "gemm", "problem": "mn_k32",
+     "precision": "single", "iterations": 8, "paradigm": "unified",
+     "min_dim": 1, "max_dim": 96, "step": 16},
+]
+
+
+def _cold_body(index: int) -> dict:
+    """A unique configuration: every cold request is a forced miss."""
+    return {
+        "system": ("dawn", "lumi", "isambard-ai")[index % 3],
+        "kernel": "gemm",
+        "problem": "square",
+        "precision": "single",
+        "iterations": 8,
+        "paradigm": "once",
+        "min_dim": 1,
+        "max_dim": 64 + 8 * index,
+        "step": 16,
+    }
+
+
+def build_trace(requests: int, hot_fraction: float, rng: random.Random):
+    """The open-loop schedule: ``(arrival_s, kind, body)`` tuples in
+    bursts of 4–12 back-to-back requests separated by short gaps."""
+    trace = []
+    arrival = 0.0
+    cold_index = 0
+    emitted = 0
+    while emitted < requests:
+        burst = min(rng.randint(4, 12), requests - emitted)
+        for _ in range(burst):
+            if rng.random() < hot_fraction:
+                kind, body = "hot", rng.choice(HOT_BODIES)
+            else:
+                kind, body = "cold", _cold_body(cold_index)
+                cold_index += 1
+            trace.append((arrival, kind, body))
+            emitted += 1
+        arrival += rng.uniform(0.01, 0.05)
+    return trace
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _latency_block(samples) -> dict:
+    return {
+        "count": len(samples),
+        "p50_ms": round(_percentile(samples, 0.50) * 1e3, 4),
+        "p99_ms": round(_percentile(samples, 0.99) * 1e3, 4),
+        "max_ms": round(max(samples) * 1e3, 4) if samples else 0.0,
+    }
+
+
+async def _replay(handle, trace, concurrency: int) -> dict:
+    """Open-loop senders: each worker fires its slice of the schedule
+    at the planned arrival times, never waiting for other workers."""
+    latencies = {"hot": [], "cold": []}
+    failures = []
+    start = time.perf_counter()
+
+    async def worker(slot: int):
+        client = ServeClient(handle.host, handle.port)
+        try:
+            for arrival, kind, body in trace[slot::concurrency]:
+                delay = arrival - (time.perf_counter() - start)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                t0 = time.perf_counter()
+                response = await client.post("/v1/threshold", body)
+                latency = time.perf_counter() - t0
+                if response.status == 200:
+                    latencies[kind].append(latency)
+                else:
+                    failures.append(response.status)
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker(slot) for slot in range(concurrency)))
+    elapsed = time.perf_counter() - start
+
+    status, metrics = await _fetch_metrics(handle)
+    assert status == 200
+    completed = len(latencies["hot"]) + len(latencies["cold"])
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "completed": completed,
+        "failed": len(failures),
+        "throughput_rps": round(completed / elapsed, 2),
+        "latency": {
+            "hot": _latency_block(latencies["hot"]),
+            "cold": _latency_block(latencies["cold"]),
+            "all": _latency_block(latencies["hot"] + latencies["cold"]),
+        },
+        "hit_rate": metrics["cache"]["hit_rate"],
+        "server": {
+            "cache": metrics["cache"],
+            "jobs": metrics["jobs"],
+            "threshold_latency": metrics["latency"].get("threshold"),
+        },
+    }
+
+
+async def _fetch_metrics(handle):
+    client = ServeClient(handle.host, handle.port)
+    try:
+        response = await client.get("/metrics")
+        return response.status, response.json()
+    finally:
+        await client.close()
+
+
+async def _verify_byte_identity(handle, cache_dir: Path) -> None:
+    """A warm API response must be the CSV, byte for byte."""
+    body = dict(HOT_BODIES[0], include_series=True)
+    client = ServeClient(handle.host, handle.port)
+    try:
+        response = await client.post("/v1/threshold", body)
+    finally:
+        await client.close()
+    assert response.status == 200, response.body
+    payload = response.json()
+    assert payload["cache"]["hit"] is True, "trace should have warmed this key"
+    series_payload = payload["series"]
+
+    backend = make_backend("analytic", system=body["system"])
+    config = RunConfig(
+        min_dim=body["min_dim"], max_dim=body["max_dim"],
+        iterations=body["iterations"], step=body["step"],
+        kernels=(Kernel(body["kernel"]),),
+        problem_idents=(body["problem"],),
+        precisions=(Precision(body["precision"]),),
+    )
+    result = run_sweep(
+        backend, config, system_name=body["system"], cache_dir=cache_dir
+    )
+    assert result.cache_hit, "the reference sweep should replay from cache"
+    (series,) = result.series
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = write_series(series, Path(tmp) / series_payload["filename"])
+        expected = csv_path.read_bytes()
+    lines = [",".join(series_payload["fieldnames"])]
+    lines += [
+        ",".join(row[name] for name in series_payload["fieldnames"])
+        for row in series_payload["rows"]
+    ]
+    rebuilt = ("\r\n".join(lines) + "\r\n").encode()
+    assert rebuilt == expected, "API series diverged from the CSV bytes"
+
+
+async def _measure_async(requests: int, concurrency: int,
+                         hot_fraction: float) -> dict:
+    rng = random.Random(SEED)
+    trace = build_trace(requests, hot_fraction, rng)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        handle = await start_server(
+            ServeConfig(port=0, cache_dir=cache_dir, workers=2)
+        )
+        try:
+            data = await _replay(handle, trace, concurrency)
+            await _verify_byte_identity(handle, Path(cache_dir))
+        finally:
+            await handle.drain(30.0)
+    data["config"] = {
+        "system_pool": sorted({b["system"] for b in HOT_BODIES}),
+        "requests": requests,
+        "concurrency": concurrency,
+        "hot_fraction": hot_fraction,
+        "hot_keys": len(HOT_BODIES),
+        "seed": SEED,
+    }
+    return data
+
+
+def measure(requests: int = 200, concurrency: int = 8,
+            hot_fraction: float = 0.8) -> dict:
+    return asyncio.run(_measure_async(requests, concurrency, hot_fraction))
+
+
+def report(data: dict) -> str:
+    config = data["config"]
+    hot, cold = data["latency"]["hot"], data["latency"]["cold"]
+    return "\n".join([
+        f"serve latency — {config['requests']} requests, "
+        f"{config['concurrency']} senders, "
+        f"{config['hot_fraction']:.0%} hot over {config['hot_keys']} keys",
+        f"  throughput : {data['throughput_rps']:8.1f} req/s "
+        f"({data['completed']} ok, {data['failed']} failed)",
+        f"  hit rate   : {data['hit_rate']:8.3f}",
+        f"  hot  p50   : {hot['p50_ms']:8.2f} ms   p99: "
+        f"{hot['p99_ms']:8.2f} ms",
+        f"  cold p50   : {cold['p50_ms']:8.2f} ms   p99: "
+        f"{cold['p99_ms']:8.2f} ms",
+        f"  coalesced  : {data['server']['cache']['coalesced']:8d} "
+        f"(sweeps executed: {data['server']['jobs']['sweeps_executed']})",
+    ])
+
+
+def write_json(data: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_serve_latency.json"
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_serve_latency(benchmark):
+    data = run_once(benchmark, lambda: measure(requests=120, concurrency=6))
+    write_json(data)
+    print("\n" + report(data))
+    assert data["failed"] == 0
+    assert data["hit_rate"] >= HIT_RATE_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--hot-fraction", type=float, default=0.8)
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"fail unless hit rate >= {HIT_RATE_FLOOR} and the warm "
+        "series payload is byte-identical to its CSV",
+    )
+    args = parser.parse_args(argv)
+    data = measure(args.requests, args.concurrency, args.hot_fraction)
+    write_json(data)
+    print(report(data))
+    if args.check:
+        if data["failed"]:
+            print(f"FAIL: {data['failed']} request(s) failed", file=sys.stderr)
+            return 1
+        if data["hit_rate"] < HIT_RATE_FLOOR:
+            print(
+                f"FAIL: hit rate {data['hit_rate']:.3f} is below the "
+                f"{HIT_RATE_FLOOR} floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

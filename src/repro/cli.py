@@ -12,6 +12,8 @@ Examples::
     gpu-blob -i 8 -d 512 --system dawn --strict -j 4
     gpu-blob fsck results/dawn-i8 ck.jsonl --repair
     gpu-blob cache prune --max-entries 32
+    gpu-blob cache stats --json
+    gpu-blob serve --port 8377 --workers 2 --rate 50
 
 With ``-o`` the per-series CSVs land in the given directory (plus a
 ``quarantine.json`` report when samples were quarantined); without it
@@ -253,6 +255,19 @@ def build_cache_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None, metavar="N",
         help="keep at most N bytes of entries (default: unlimited)",
     )
+    stats = sub.add_parser(
+        "stats",
+        help="report entry count, total bytes, and the hit/miss "
+        "counters shared with the serve daemon's /metrics",
+    )
+    stats.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the stats as one JSON object instead of text",
+    )
     return parser
 
 
@@ -283,9 +298,11 @@ def _main_fsck(argv: List[str]) -> int:
 
 
 def _main_cache(argv: List[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    if args.cache_command == "stats":
+        return _main_cache_stats(args)
     from .core.sweepcache import prune_cache
 
-    args = build_cache_parser().parse_args(argv)
     try:
         evicted = prune_cache(
             args.cache_dir,
@@ -299,6 +316,29 @@ def _main_cache(argv: List[str]) -> int:
     return 0
 
 
+def _main_cache_stats(args) -> int:
+    import json as _json
+
+    from .core.sweepcache import cache_stats
+
+    try:
+        stats = cache_stats(args.cache_dir)
+    except ReproError as exc:
+        print(f"gpu-blob: error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+    if args.json:
+        print(_json.dumps(stats, sort_keys=True))
+        return 0
+    print(f"cache:      {args.cache_dir}")
+    print(f"entries:    {stats['entries']}")
+    print(f"bytes:      {stats['total_bytes']}")
+    print(f"hits:       {stats['hits']}")
+    print(f"misses:     {stats['misses']}")
+    print(f"stores:     {stats['stores']}")
+    print(f"hit rate:   {stats['hit_rate']:.3f}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -306,6 +346,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_fsck(argv[1:])
     if argv and argv[0] == "cache":
         return _main_cache(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.service import main as serve_main
+
+        return serve_main(argv[1:])
     return _main_sweep(argv)
 
 

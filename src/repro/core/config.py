@@ -56,11 +56,18 @@ class RunConfig:
         for t in self.transfers:
             if t not in _ALL_TRANSFERS:
                 raise ConfigError(f"unknown transfer type: {t!r}")
-        # Resolve every (kernel, ident) pair eagerly so typos fail fast.
+        # Resolve every (kernel, ident) pair eagerly so typos fail fast,
+        # and fail with the valid registry names instead of a bare miss.
         if not self.problem_types():
+            from .problem import problem_idents
+
+            valid = "; ".join(
+                f"{k.value}: {list(problem_idents(k))}" for k in self.kernels
+            )
             raise ConfigError(
                 f"no problem type in {self.problem_idents!r} exists for "
-                f"kernels {[k.value for k in self.kernels]!r}"
+                f"kernels {[k.value for k in self.kernels]!r}; valid "
+                f"problem types — {valid}"
             )
 
     def problem_types(self) -> List[ProblemType]:

@@ -23,6 +23,7 @@ __all__ = [
     "QUARANTINE_FILENAME",
     "read_samples",
     "read_run_dir",
+    "sample_row",
     "series_filename",
     "write_quarantine",
     "write_run",
@@ -57,6 +58,17 @@ def _row(sample: PerfSample, series: ProblemSeries) -> dict:
         "gflops": repr(sample.gflops),
         "checksum_ok": "" if sample.checksum_ok is None else int(sample.checksum_ok),
     }
+
+
+def sample_row(sample: PerfSample, series: ProblemSeries) -> dict:
+    """One sample as the exact cell strings :func:`write_series` emits.
+
+    ``csv.DictWriter`` stringifies every value on the way out, so this
+    is the byte-level contract of a CSV row — the serving daemon reuses
+    it for its ``series`` payloads, which keeps a cached API response
+    byte-identical to the CLI's CSV output.
+    """
+    return {k: str(v) for k, v in _row(sample, series).items()}
 
 
 def write_series(series: ProblemSeries, path) -> Path:

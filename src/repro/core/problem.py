@@ -27,6 +27,7 @@ __all__ = [
     "NONSQUARE_GEMV_TYPES",
     "ProblemType",
     "get_problem_type",
+    "problem_idents",
 ]
 
 
@@ -99,11 +100,18 @@ NONSQUARE_GEMV_TYPES = tuple(t for t in GEMV_PROBLEM_TYPES if t.ident != "square
 _BY_KEY = {(t.kernel, t.ident): t for t in ALL_PROBLEM_TYPES}
 
 
+def problem_idents(kernel: Kernel) -> tuple:
+    """Every registered problem-type ident of one kernel, sorted."""
+    return tuple(
+        sorted(t.ident for t in ALL_PROBLEM_TYPES if t.kernel is kernel)
+    )
+
+
 def get_problem_type(kernel: Kernel, ident: str) -> ProblemType:
     try:
         return _BY_KEY[(kernel, ident)]
     except KeyError:
         raise UnknownProblemTypeError(
             f"no problem type {ident!r} for kernel {kernel.value!r}; "
-            f"known: {sorted(t.ident for t in ALL_PROBLEM_TYPES if t.kernel is kernel)}"
+            f"known: {list(problem_idents(kernel))}"
         ) from None

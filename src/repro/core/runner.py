@@ -188,6 +188,14 @@ class RunResult:
             or any(s.partial for s in self.series)
         )
 
+    @property
+    def cache_hit(self) -> bool:
+        """True when this run was replayed wholesale from the content-
+        addressed sweep cache (the serving daemon's hot-path signal;
+        checkpoint-resumed samples count separately on
+        :attr:`SweepStats.resumed_samples`)."""
+        return self.stats.cached_samples > 0
+
     def series_for(
         self, kernel: Kernel, ident: str, precision: Precision
     ) -> ProblemSeries:

@@ -24,6 +24,15 @@ entry is treated as a quiet miss and overwritten.
 
 Hits refresh an entry's mtime, which is the recency order
 :func:`prune_cache` (``gpu-blob cache prune``) evicts against.
+
+The store also keeps running **hit/miss/store counters** in a hidden
+``.stats`` sidecar (no ``.json`` suffix, so it is invisible to the
+``*.json`` entry globs and to fsck's cache-entry dispatch).  They are
+bumped under the same writer lock, survive across processes, and back
+both ``gpu-blob cache stats`` and the serving daemon's ``/metrics``
+endpoint.  :class:`SingleFlight` lives here too: the keyed
+compute-coalescing primitive the daemon wraps around cache fills so a
+thundering herd on one cold key runs a single sweep.
 """
 
 from __future__ import annotations
@@ -32,9 +41,10 @@ import contextlib
 import hashlib
 import json
 import os
+import threading
 import warnings
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import CacheIntegrityWarning, ConfigError
 from ..faults.checkpoint import config_fingerprint
@@ -44,6 +54,8 @@ from .problem import get_problem_type
 from .records import PerfSample, ProblemSeries
 
 __all__ = [
+    "SingleFlight",
+    "cache_stats",
     "load_cached_run",
     "payload_digest",
     "prune_cache",
@@ -56,6 +68,9 @@ CACHE_VERSION = 2
 
 #: Cross-process writer lock, held only around mutations of the store.
 LOCK_FILENAME = ".lock"
+
+#: Hidden sidecar holding the store's running hit/miss/store counters.
+STATS_FILENAME = ".stats"
 
 
 def sweep_cache_key(
@@ -102,6 +117,115 @@ def _cache_lock(cache_dir):
 
 def _entry_path(cache_dir, key: str) -> Path:
     return Path(cache_dir) / f"{key}.json"
+
+
+def _bump_stat(cache_dir, field: str) -> None:
+    """Increment one persistent store counter (best-effort: a stats
+    write must never fail a sweep)."""
+    path = Path(cache_dir) / STATS_FILENAME
+    with contextlib.suppress(Exception):
+        with _cache_lock(path.parent):
+            try:
+                counters = json.loads(path.read_text())
+            except (OSError, ValueError):
+                counters = {}
+            if not isinstance(counters, dict):
+                counters = {}
+            counters[field] = int(counters.get(field, 0)) + 1
+            tmp = path.with_suffix(f".tmp-{os.getpid()}")
+            tmp.write_text(json.dumps(counters, sort_keys=True) + "\n")
+            tmp.replace(path)
+
+
+def cache_stats(cache_dir) -> dict:
+    """Entry count, total payload bytes, and the persistent hit/miss/
+    store counters of one cache directory.
+
+    The same numbers back ``gpu-blob cache stats`` and the serving
+    daemon's ``/metrics`` endpoint, so the two always agree.
+    """
+    cache_dir = Path(cache_dir)
+    entries = 0
+    total_bytes = 0
+    if cache_dir.is_dir():
+        for path in cache_dir.glob("*.json"):
+            with contextlib.suppress(OSError):
+                total_bytes += path.stat().st_size
+                entries += 1
+    try:
+        counters = json.loads((cache_dir / STATS_FILENAME).read_text())
+        if not isinstance(counters, dict):
+            counters = {}
+    except (OSError, ValueError):
+        counters = {}
+    hits = int(counters.get("hits", 0))
+    misses = int(counters.get("misses", 0))
+    lookups = hits + misses
+    return {
+        "entries": entries,
+        "total_bytes": total_bytes,
+        "hits": hits,
+        "misses": misses,
+        "stores": int(counters.get("stores", 0)),
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+
+
+class _Flight:
+    """One in-progress computation shared by a leader and followers."""
+
+    __slots__ = ("event", "result", "exc", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result = None
+        self.exc: Optional[BaseException] = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """Keyed compute coalescing: concurrent :meth:`do` calls for one key
+    run the function once and share its outcome.
+
+    The first caller (the leader) executes ``fn``; callers that arrive
+    while it is still running block and receive the leader's result —
+    or its exception, re-raised in every follower.  Thread-safe; the
+    serving daemon uses it so a burst of identical cold-key requests
+    fills the sweep cache with exactly one execution.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[object, _Flight] = {}
+        #: calls served from another caller's in-progress computation
+        self.coalesced = 0
+
+    def do(self, key, fn: Callable[[], object]):
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.followers += 1
+        if not leader:
+            flight.event.wait()
+            with self._lock:
+                self.coalesced += 1
+            if flight.exc is not None:
+                raise flight.exc
+            return flight.result
+        try:
+            flight.result = fn()
+        except BaseException as exc:
+            flight.exc = exc
+            raise
+        finally:
+            with self._lock:
+                del self._flights[key]
+            flight.event.set()
+        return flight.result
 
 
 def _sample_record(sample: PerfSample) -> dict:
@@ -159,6 +283,7 @@ def store_run(cache_dir, backend, result) -> Optional[Path]:
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
         tmp.write_text(json.dumps(entry, separators=(",", ":")) + "\n")
         tmp.replace(path)
+    _bump_stat(cache_dir, "stores")
     return path
 
 
@@ -177,11 +302,17 @@ def load_cached_run(
     """Replay a stored run of the identical (config, system, backend)
     triple; ``None`` on a miss.  Unparseable or digest-mismatched
     entries are warned misses, stale format versions quiet ones."""
-    from .runner import RunResult  # local import: runner imports us lazily
-
     key = sweep_cache_key(config, system_name, backend)
     if key is None:
         return None
+    result = _load_entry(cache_dir, key, config, system_name)
+    _bump_stat(cache_dir, "misses" if result is None else "hits")
+    return result
+
+
+def _load_entry(cache_dir, key: str, config: RunConfig, system_name):
+    from .runner import RunResult  # local import: runner imports us lazily
+
     path = _entry_path(cache_dir, key)
     try:
         text = path.read_text()

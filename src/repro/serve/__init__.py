@@ -1,0 +1,41 @@
+"""``repro.serve`` — the async threshold-serving daemon.
+
+Stdlib-only HTTP/JSON serving of the paper's offload-threshold
+decision: the content-addressed sweep cache is the hot store, misses
+coalesce (single-flight) into a bounded job queue over the supervised
+executor, per-client token buckets answer 429, deadlines answer 504,
+and ``/metrics`` exports counters and latency percentiles.  See
+:mod:`repro.serve.service` for the endpoint surface and
+``DESIGN.md`` §11 for the architecture.
+"""
+
+from .httpd import HttpError, Request, Response, json_response
+from .jobs import JobQueue, QueueFullError
+from .metrics import LatencyHistogram, ServeMetrics
+from .quota import RateLimiter
+from .service import (
+    ApiError,
+    ServeConfig,
+    ServerHandle,
+    ThresholdService,
+    main,
+    start_server,
+)
+
+__all__ = [
+    "ApiError",
+    "HttpError",
+    "JobQueue",
+    "LatencyHistogram",
+    "QueueFullError",
+    "RateLimiter",
+    "Request",
+    "Response",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServerHandle",
+    "ThresholdService",
+    "json_response",
+    "main",
+    "start_server",
+]

@@ -1,0 +1,127 @@
+"""A minimal async HTTP client for the serving daemon.
+
+Tests, the latency benchmark, and the CI smoke job all need to talk to
+``gpu-blob serve`` without adding dependencies; this module is the
+client-side twin of :mod:`repro.serve.httpd` — one connection, HTTP/1.1
+with Content-Length framing, keep-alive reuse, JSON bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ClientResponse", "ServeClient", "fetch_json"]
+
+
+@dataclass
+class ClientResponse:
+    """One response as seen by the client."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServeClient:
+    """One keep-alive connection to a running daemon."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def close(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> ClientResponse:
+        """Send one request, reconnecting once if the kept-alive
+        connection went stale under us."""
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        for attempt in (0, 1):
+            await self._connect()
+            try:
+                return await self._roundtrip(method, path, body, headers)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        extra_headers: Tuple[Tuple[str, str], ...],
+    ) -> ClientResponse:
+        assert self._reader is not None and self._writer is not None
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+
+        raw = await self._reader.readuntil(b"\r\n\r\n")
+        text = raw.decode("latin-1")
+        status_line, _, header_block = text.partition("\r\n")
+        status = int(status_line.split(" ")[1])
+        headers: Dict[str, str] = {}
+        for line in header_block.split("\r\n"):
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ClientResponse(status=status, headers=headers, body=payload)
+
+    async def get(self, path: str, **kwargs) -> ClientResponse:
+        return await self.request("GET", path, **kwargs)
+
+    async def post(self, path: str, payload, **kwargs) -> ClientResponse:
+        return await self.request("POST", path, payload=payload, **kwargs)
+
+
+async def fetch_json(host: str, port: int, method: str, path: str, payload=None):
+    """One-shot convenience: connect, request, decode, disconnect."""
+    client = ServeClient(host, port)
+    try:
+        response = await client.request(method, path, payload=payload)
+        return response.status, response.json()
+    finally:
+        await client.close()

@@ -1,0 +1,235 @@
+"""Hand-rolled HTTP/1.1 plumbing on ``asyncio`` streams (stdlib only).
+
+The serving daemon deliberately avoids web frameworks: everything it
+needs from HTTP is request-line + headers + Content-Length bodies and
+keep-alive connections, which fits in one small, auditable module on
+:func:`asyncio.start_server`.  The parser is strict where it matters
+(bounded head and body sizes, exact Content-Length reads, no
+Transfer-Encoding support) and every malformed input maps to a clean
+4xx instead of a dropped connection.
+
+:func:`handle_connection` is the per-connection loop the daemon passes
+to ``start_server``: parse a request, call the (async) handler, write
+the response, repeat until the peer closes or sends
+``Connection: close``.  Handler exceptions become a 500 with a JSON
+body; they never tear the process down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "handle_connection",
+    "json_response",
+    "read_request",
+    "render_response",
+]
+
+#: Bounds on one request: the head (request line + headers) and body.
+MAX_HEAD_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unserviceable request, mapped to a 4xx/5xx."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    peer: str = ""
+
+    def json(self):
+        """The body decoded as JSON; :class:`HttpError` 400 otherwise."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(400, "request body is not valid JSON") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One response: a status, a body, and extra headers."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+
+def json_response(status: int, payload, **kwargs) -> Response:
+    """A :class:`Response` carrying compact, key-sorted JSON."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return Response(status, body.encode() + b"\n", **kwargs)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    peer: str = "",
+    max_head_bytes: int = MAX_HEAD_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF between requests (the peer hung up,
+    which is how keep-alive connections end); raises :class:`HttpError`
+    on anything malformed.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head too large") from None
+    if len(head) > max_head_bytes:
+        raise HttpError(431, "request head too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise HttpError(400, "undecodable request head") from None
+    request_line, _, header_block = text.partition("\r\n")
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "Transfer-Encoding is not supported")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length!r}") from None
+        if n < 0:
+            raise HttpError(400, f"bad Content-Length {length!r}")
+        if n > max_body_bytes:
+            raise HttpError(413, f"body of {n} bytes exceeds the limit")
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+        peer=peer,
+    )
+
+
+def render_response(response: Response, keep_alive: bool = True) -> bytes:
+    """Serialize one response (Content-Length framing, no chunking)."""
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in response.headers)
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + response.body
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def handle_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    handler: Handler,
+) -> None:
+    """Serve one connection until EOF, ``Connection: close``, or error."""
+    peername = writer.get_extra_info("peername")
+    peer = peername[0] if isinstance(peername, tuple) else str(peername or "")
+    try:
+        while True:
+            try:
+                request = await read_request(reader, peer=peer)
+            except HttpError as exc:
+                payload = {"error": {"family": "config", "message": str(exc)}}
+                response = json_response(exc.status, payload)
+                writer.write(render_response(response, keep_alive=False))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            try:
+                response = await handler(request)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # handler bug: reply, don't die
+                payload = {
+                    "error": {
+                        "family": "internal",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    },
+                }
+                response = json_response(500, payload)
+            keep_alive = request.keep_alive and response.status < 500
+            writer.write(render_response(response, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionError, asyncio.CancelledError):
+        pass  # peer vanished or server shutting down: nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - racy close
+            pass

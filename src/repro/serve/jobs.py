@@ -1,0 +1,142 @@
+"""Bounded async job queue with keyed single-flight coalescing.
+
+Cache misses are the expensive path of the serving daemon: each one is
+a full sweep through the supervised executor.  The queue bounds how
+many such sweeps can be waiting (``maxsize`` — excess submissions are
+rejected so the caller can 503 instead of building an unbounded
+backlog) and how many run at once (``workers``).
+
+Coalescing happens *before* the queue: a submission whose key is
+already in flight — queued or executing — receives the same
+:class:`asyncio.Future` instead of a second queue slot, so a thundering
+herd on one cold key costs one slot and one sweep.  Callers that
+enforce deadlines must ``asyncio.shield`` the shared future: it belongs
+to every coalesced waiter, and one waiter's timeout must not cancel the
+others' job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+__all__ = ["JobQueue", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """The job queue is at capacity; the submission was rejected."""
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Mark a job failure as observed.
+
+    A deadline-expired request may abandon its (shielded) future before
+    the job fails; without this callback the event loop would log an
+    "exception was never retrieved" warning for a failure the service
+    already answered with a 504.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
+class JobQueue:
+    """``workers`` async consumers over a bounded queue of thunks."""
+
+    def __init__(self, workers: int = 2, maxsize: int = 64) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._workers = workers
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        self._flights: Dict[object, asyncio.Future] = {}
+        self._tasks: list = []
+        self._inflight = 0
+
+    @property
+    def depth(self) -> int:
+        """Jobs queued but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        """Jobs currently executing on a worker."""
+        return self._inflight
+
+    def start(self) -> None:
+        """Spawn the worker tasks (requires a running event loop)."""
+        if self._tasks:
+            return
+        self._tasks = [
+            asyncio.ensure_future(self._worker()) for _ in range(self._workers)
+        ]
+
+    def submit(
+        self, key, thunk: Callable[[], Awaitable]
+    ) -> Tuple[asyncio.Future, bool]:
+        """Enqueue ``thunk`` under ``key``.
+
+        Returns ``(future, coalesced)``: ``coalesced`` is True when the
+        key was already in flight and the future is shared.  Raises
+        :class:`QueueFullError` when a fresh job cannot be queued.
+        """
+        future = self._flights.get(key)
+        if future is not None:
+            return future, True
+        future = asyncio.get_running_loop().create_future()
+        future.add_done_callback(_consume_exception)
+        try:
+            self._queue.put_nowait((key, thunk, future))
+        except asyncio.QueueFull:
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        self._flights[key] = future
+        return future, False
+
+    async def _worker(self) -> None:
+        while True:
+            key, thunk, future = await self._queue.get()
+            self._inflight += 1
+            try:
+                result = await thunk()
+            except asyncio.CancelledError:
+                if not future.done():
+                    future.cancel()
+                raise
+            except BaseException as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if not future.done():
+                    future.set_result(result)
+            finally:
+                self._inflight -= 1
+                self._flights.pop(key, None)
+                self._queue.task_done()
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Finish every queued and in-flight job, then stop the workers.
+
+        Returns True when the queue drained inside ``timeout``; on False
+        the remaining jobs were abandoned (their futures cancelled).
+        """
+        drained = True
+        if self._queue.qsize() or self._inflight:
+            try:
+                await asyncio.wait_for(self._queue.join(), timeout)
+            except asyncio.TimeoutError:
+                drained = False
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        for future in self._flights.values():
+            if not future.done():
+                future.cancel()
+        self._flights.clear()
+        return drained

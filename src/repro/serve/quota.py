@@ -1,0 +1,82 @@
+"""Per-client token-bucket rate limiting.
+
+Each client key (the ``X-Client-Id`` header, falling back to the peer
+address) gets one bucket of ``burst`` tokens refilled at ``rate``
+tokens per second.  A request costs one token; an empty bucket yields
+the number of seconds until the next token, which the service returns
+as ``Retry-After`` on a 429.
+
+The bucket table is bounded: past ``max_clients`` the least recently
+seen buckets are evicted, so an open endpoint cannot grow the table
+without limit.  Eviction forgives at most ``burst`` tokens of debt per
+forged client id — the cheap, honest trade for bounded memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+__all__ = ["RateLimiter"]
+
+
+class _Bucket:
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float) -> None:
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class RateLimiter:
+    """Keyed token buckets; ``rate=None`` disables limiting entirely."""
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: int = 8,
+        clock=time.monotonic,
+        max_clients: int = 4096,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._max_clients = max_clients
+        self._buckets: Dict[str, _Bucket] = {}
+
+    def check(self, key: str) -> float:
+        """Spend one token for ``key``.
+
+        Returns 0.0 when the request is admitted, else the seconds
+        until a token will be available (the ``Retry-After`` value).
+        """
+        if self.rate is None:
+            return 0.0
+        now = self._clock()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._evict(now)
+            bucket = self._buckets[key] = _Bucket(float(self.burst), now)
+        else:
+            bucket.tokens = min(
+                float(self.burst),
+                bucket.tokens + (now - bucket.stamp) * self.rate,
+            )
+            bucket.stamp = now
+        if bucket.tokens >= 1.0:
+            bucket.tokens -= 1.0
+            return 0.0
+        return (1.0 - bucket.tokens) / self.rate
+
+    def _evict(self, now: float) -> None:
+        """Drop the stalest buckets once the table is full."""
+        if len(self._buckets) < self._max_clients:
+            return
+        drop = max(1, self._max_clients // 8)
+        stale = sorted(self._buckets, key=lambda k: self._buckets[k].stamp)
+        for key in stale[:drop]:
+            del self._buckets[key]

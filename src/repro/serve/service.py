@@ -1,0 +1,703 @@
+"""`gpu-blob serve` — the async threshold-serving daemon.
+
+The decision function the paper builds — *given a system, problem
+type, precision, iteration count, and transfer paradigm, which device
+wins and where is the crossover?* — is served here as a long-running
+HTTP/JSON API:
+
+* ``POST /v1/threshold`` — answer one threshold query.  The
+  content-addressed sweep cache is the hot store; a miss is coalesced
+  per cache key (single-flight) and dispatched to a bounded job queue
+  that runs the sweep through the existing supervised executor.
+* ``GET /v1/systems`` / ``GET /v1/problems`` — registry introspection.
+* ``GET /healthz`` — liveness.
+* ``GET /metrics`` — JSON counters: per-endpoint request counts and
+  latency histograms (p50/p99), cache hit rate, queue depth, in-flight
+  jobs, plus the store-level counters shared with ``gpu-blob cache
+  stats``.
+
+Failure surface: per-client token buckets answer 429 with
+``Retry-After``; a full job queue answers 503; a request deadline
+overrun answers 504; and every error body is structured JSON carrying
+the engine's error-family taxonomy (config = 2, fault = 3,
+integrity = 4 — the CLI's exit codes).  SIGTERM drains gracefully:
+stop accepting, finish in-flight requests and queued sweeps, then
+exit 0.
+
+A cached threshold response is **byte-identical** to the CLI: series
+rows reuse :func:`repro.core.csvio.sample_row`, the exact cell strings
+``gpu-blob -o`` writes to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..backends import make_backend
+from ..core.config import RunConfig
+from ..core.csvio import FIELDNAMES, sample_row, series_filename
+from ..core.problem import get_problem_type, problem_idents
+from ..core.runner import run_sweep
+from ..core.sweepcache import SingleFlight, cache_stats, sweep_cache_key
+from ..core.threshold import threshold_for_series
+from ..errors import (
+    IntegrityError,
+    ReproError,
+    SweepFaultError,
+    UnknownProblemTypeError,
+    UnknownSystemError,
+)
+from ..systems.catalog import get_system, system_names
+from ..types import Kernel, Precision, TransferType
+from .httpd import (
+    HttpError,
+    Request,
+    Response,
+    handle_connection,
+    json_response,
+)
+from .jobs import JobQueue, QueueFullError
+from .metrics import ServeMetrics
+from .quota import RateLimiter
+
+__all__ = [
+    "ApiError",
+    "ServeConfig",
+    "ServerHandle",
+    "ThresholdService",
+    "build_serve_parser",
+    "main",
+    "start_server",
+]
+
+#: Default bind address of the daemon.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8377
+
+#: Model backends the API may run sweeps on (host is excluded: it has
+#: no cache token, so it can never serve the byte-identical hot path).
+SERVABLE_BACKENDS = ("analytic", "des")
+
+
+class ApiError(Exception):
+    """One structured API failure: an HTTP status plus an error body
+    in the engine's family taxonomy (config/fault/integrity)."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        family: str = "config",
+        valid: Optional[List[str]] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.family = family
+        self.valid = valid
+        self.retry_after_s = retry_after_s
+
+    def payload(self) -> dict:
+        error = {
+            "family": self.family,
+            "exit_code": _FAMILY_EXIT_CODES.get(self.family),
+            "message": str(self),
+        }
+        if self.valid is not None:
+            error["valid"] = list(self.valid)
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(self.retry_after_s, 3)
+        return {"error": error}
+
+
+#: The CLI's exit-code map, mirrored into error bodies.
+_FAMILY_EXIT_CODES = {"config": 2, "fault": 3, "integrity": 4, "quota": None}
+
+
+def _family_of(exc: ReproError) -> str:
+    if isinstance(exc, IntegrityError):
+        return "integrity"
+    if isinstance(exc, SweepFaultError):
+        return "fault"
+    return "config"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon configuration (the ``gpu-blob serve`` flags)."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    cache_dir: str = "results/.sweep-cache"
+    workers: int = 2
+    queue_maxsize: int = 64
+    #: per-client token-bucket refill in requests/second (None: no limit)
+    rate: Optional[float] = None
+    burst: int = 8
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        from ..errors import ConfigError
+
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_maxsize < 1:
+            raise ConfigError(
+                f"queue_maxsize must be >= 1, got {self.queue_maxsize}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {self.burst}")
+        if self.request_timeout_s <= 0:
+            raise ConfigError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    """One validated ``POST /v1/threshold`` request."""
+
+    system: str
+    kernel: Kernel
+    problem: str
+    precision: Precision
+    iterations: int
+    paradigm: TransferType
+    backend: str
+    min_dim: int
+    max_dim: int
+    step: int
+    dim: Optional[int]
+    min_consecutive: int
+    include_series: bool
+
+    def run_config(self) -> RunConfig:
+        """The sweep config — shaped exactly like the CLI builds it
+        (all three paradigms swept), so server and CLI share cache
+        entries for the same (system, problem, precision, iterations)."""
+        return RunConfig(
+            min_dim=self.min_dim,
+            max_dim=self.max_dim,
+            iterations=self.iterations,
+            step=self.step,
+            kernels=(self.kernel,),
+            problem_idents=(self.problem,),
+            precisions=(self.precision,),
+        )
+
+
+def _enum_field(data: dict, name: str, enum_cls, default):
+    value = data.get(name, default)
+    try:
+        return enum_cls(value)
+    except ValueError:
+        raise ApiError(
+            400,
+            f"unknown {name} {value!r}",
+            valid=[member.value for member in enum_cls],
+        ) from None
+
+
+def _int_field(data: dict, name: str, default: int, minimum: int = 1) -> int:
+    value = data.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ApiError(
+            400, f"{name} must be an integer >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+def parse_threshold_query(body: dict) -> ThresholdQuery:
+    """Validate one request body into a :class:`ThresholdQuery`,
+    answering unknown names with the valid registry entries."""
+    if not isinstance(body, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    system = body.get("system")
+    if not isinstance(system, str):
+        raise ApiError(
+            400, "field 'system' is required", valid=list(system_names())
+        )
+    if system not in system_names():
+        raise ApiError(
+            400,
+            f"unknown system {system!r}",
+            valid=list(system_names()),
+        )
+    kernel = _enum_field(body, "kernel", Kernel, Kernel.GEMM.value)
+    problem = body.get("problem", "square")
+    try:
+        get_problem_type(kernel, problem)
+    except (UnknownProblemTypeError, TypeError):
+        raise ApiError(
+            400,
+            f"unknown problem {problem!r} for kernel {kernel.value!r}",
+            valid=list(problem_idents(kernel)),
+        ) from None
+    precision = _enum_field(
+        body, "precision", Precision, Precision.SINGLE.value
+    )
+    paradigm = _enum_field(
+        body, "paradigm", TransferType, TransferType.ONCE.value
+    )
+    backend = body.get("backend", "analytic")
+    if backend not in SERVABLE_BACKENDS:
+        raise ApiError(
+            400,
+            f"unknown backend {backend!r}",
+            valid=list(SERVABLE_BACKENDS),
+        )
+    min_dim = _int_field(body, "min_dim", 1)
+    max_dim = _int_field(body, "max_dim", 4096)
+    if max_dim < min_dim:
+        raise ApiError(
+            400, f"max_dim ({max_dim}) must be >= min_dim ({min_dim})"
+        )
+    dim = body.get("dim")
+    if dim is not None and (
+        not isinstance(dim, int) or isinstance(dim, bool) or dim < 1
+    ):
+        raise ApiError(400, f"dim must be an integer >= 1, got {dim!r}")
+    return ThresholdQuery(
+        system=system,
+        kernel=kernel,
+        problem=problem,
+        precision=precision,
+        iterations=_int_field(body, "iterations", 1),
+        paradigm=paradigm,
+        backend=backend,
+        min_dim=min_dim,
+        max_dim=max_dim,
+        step=_int_field(body, "step", 8),
+        dim=dim,
+        min_consecutive=_int_field(body, "min_consecutive", 2),
+        include_series=bool(body.get("include_series", False)),
+    )
+
+
+class ThresholdService:
+    """Routing and endpoint logic, independent of the socket layer.
+
+    ``sweep_fn`` is injectable for tests (it must accept the
+    ``run_sweep(backend, config, system_name=..., cache_dir=...)``
+    shape); the default is the real supervised runner.
+    """
+
+    def __init__(self, config: ServeConfig, sweep_fn=None) -> None:
+        self.config = config
+        self.metrics = ServeMetrics()
+        self.jobs = JobQueue(
+            workers=config.workers, maxsize=config.queue_maxsize
+        )
+        self.limiter = RateLimiter(config.rate, config.burst)
+        self._sweep_fn = sweep_fn if sweep_fn is not None else run_sweep
+        self._flight = SingleFlight()
+        self._backends: Dict[tuple, object] = {}
+        self._inflight_http = 0
+
+    # -- request entry point ------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        endpoint = self._endpoint_label(request.path)
+        started = time.perf_counter()
+        self._inflight_http += 1
+        try:
+            response = await self._dispatch(request)
+        except ApiError as exc:
+            response = self._api_error_response(exc)
+        except HttpError as exc:
+            response = self._api_error_response(
+                ApiError(exc.status, str(exc))
+            )
+        except ReproError as exc:
+            response = self._repro_error_response(exc)
+        finally:
+            self._inflight_http -= 1
+        self.metrics.observe_request(
+            endpoint, response.status, time.perf_counter() - started
+        )
+        return response
+
+    @property
+    def inflight_http(self) -> int:
+        return self._inflight_http
+
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        known = {
+            "/healthz": "healthz",
+            "/metrics": "metrics",
+            "/v1/systems": "systems",
+            "/v1/problems": "problems",
+            "/v1/threshold": "threshold",
+        }
+        return known.get(path, "other")
+
+    async def _dispatch(self, request: Request) -> Response:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return json_response(200, {"status": "ok"})
+        if route == ("GET", "/metrics"):
+            return json_response(200, self._metrics_payload())
+        if route == ("GET", "/v1/systems"):
+            return json_response(200, self._systems_payload())
+        if route == ("GET", "/v1/problems"):
+            return json_response(200, self._problems_payload())
+        if route == ("POST", "/v1/threshold"):
+            return await self._threshold(request)
+        if request.path in (
+            "/healthz", "/metrics", "/v1/systems", "/v1/problems",
+            "/v1/threshold",
+        ):
+            raise ApiError(
+                405, f"method {request.method} not allowed for {request.path}"
+            )
+        raise ApiError(404, f"no such endpoint: {request.path}")
+
+    # -- error rendering ----------------------------------------------
+
+    def _api_error_response(self, exc: ApiError) -> Response:
+        headers = ()
+        if exc.status == 429 and exc.retry_after_s is not None:
+            retry = max(1, int(-(-exc.retry_after_s // 1)))
+            headers = (("Retry-After", str(retry)),)
+        return json_response(exc.status, exc.payload(), headers=headers)
+
+    def _repro_error_response(self, exc: ReproError) -> Response:
+        family = _family_of(exc)
+        status = {"config": 400, "fault": 500, "integrity": 500}[family]
+        payload = {
+            "error": {
+                "family": family,
+                "exit_code": _FAMILY_EXIT_CODES[family],
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        }
+        return json_response(status, payload)
+
+    # -- introspection endpoints --------------------------------------
+
+    def _systems_payload(self) -> dict:
+        systems = []
+        for name in system_names():
+            spec = get_system(name)
+            systems.append({
+                "name": spec.name,
+                "cpu_library": spec.cpu_library,
+                "gpu_library": spec.gpu_library,
+                "cpu_threads": spec.cpu_threads,
+                "has_gpu": spec.gpu is not None,
+            })
+        return {"systems": systems}
+
+    def _problems_payload(self) -> dict:
+        return {
+            "problems": {
+                kernel.value: list(problem_idents(kernel))
+                for kernel in Kernel
+            }
+        }
+
+    def _metrics_payload(self) -> dict:
+        payload = self.metrics.snapshot()
+        payload["queue"] = {
+            "depth": self.jobs.depth,
+            "inflight": self.jobs.inflight,
+            "maxsize": self.config.queue_maxsize,
+            "workers": self.config.workers,
+        }
+        payload["http"] = {"inflight": self._inflight_http}
+        payload["store"] = cache_stats(self.config.cache_dir)
+        return payload
+
+    # -- the threshold endpoint ---------------------------------------
+
+    def _backend_for(self, query: ThresholdQuery):
+        key = (query.backend, query.system)
+        backend = self._backends.get(key)
+        if backend is None:
+            backend = make_backend(query.backend, system=query.system)
+            self._backends[key] = backend
+        return backend
+
+    async def _threshold(self, request: Request) -> Response:
+        query = parse_threshold_query(request.json())
+        client = request.headers.get("x-client-id") or request.peer or "-"
+        retry_after = self.limiter.check(client)
+        if retry_after > 0:
+            self.metrics.rate_limited += 1
+            raise ApiError(
+                429,
+                f"client {client!r} is over its request quota",
+                family="quota",
+                retry_after_s=retry_after,
+            )
+        try:
+            backend = self._backend_for(query)
+        except UnknownSystemError:
+            raise ApiError(
+                400,
+                f"unknown system {query.system!r}",
+                valid=list(system_names()),
+            ) from None
+        config = query.run_config()
+        cache_key = sweep_cache_key(config, query.system, backend) or (
+            query.backend,
+            query.system,
+            config,
+        )
+        loop = asyncio.get_running_loop()
+
+        def execute():
+            return self._flight.do(
+                cache_key,
+                lambda: self._sweep_fn(
+                    backend,
+                    config,
+                    system_name=query.system,
+                    cache_dir=self.config.cache_dir,
+                ),
+            )
+
+        async def thunk():
+            result = await loop.run_in_executor(None, execute)
+            if not result.cache_hit:
+                self.metrics.sweeps_executed += 1
+            return result
+
+        try:
+            future, coalesced = self.jobs.submit(cache_key, thunk)
+        except QueueFullError as exc:
+            self.metrics.queue_rejected += 1
+            raise ApiError(503, str(exc), family="fault") from None
+        deadline = self.config.request_timeout_s
+        try:
+            result = await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            self.metrics.deadline_expired += 1
+            raise ApiError(
+                504,
+                f"threshold request exceeded its {deadline:.3g}s deadline "
+                "(the sweep keeps running; retry to pick up the cached "
+                "result)",
+                family="fault",
+            ) from None
+        self.metrics.record_threshold_outcome(result.cache_hit, coalesced)
+        return json_response(200, self._threshold_payload(query, result))
+
+    def _threshold_payload(self, query: ThresholdQuery, result) -> dict:
+        series = result.series_for(
+            query.kernel, query.problem, query.precision
+        )
+        found = threshold_for_series(
+            series, query.paradigm, query.min_consecutive
+        )
+        payload = {
+            "system": query.system,
+            "kernel": query.kernel.value,
+            "problem": query.problem,
+            "precision": query.precision.value,
+            "iterations": query.iterations,
+            "paradigm": query.paradigm.value,
+            "backend": query.backend,
+            "sweep": {
+                "min_dim": query.min_dim,
+                "max_dim": query.max_dim,
+                "step": query.step,
+                "samples": len(series.all_samples()),
+            },
+            "threshold": {
+                "found": found.found,
+                "dims": (
+                    {
+                        "m": found.dims.m,
+                        "n": found.dims.n,
+                        "k": found.dims.k,
+                    }
+                    if found.found
+                    else None
+                ),
+                "notation": str(found) if found.found else None,
+                "index": found.index,
+            },
+            "best_device": self._best_device(query, found),
+            # coalesced waiters must agree byte-for-byte with their
+            # leader, so only the shared hit/miss outcome appears here;
+            # per-request coalescing shows up on /metrics instead
+            "cache": {"hit": result.cache_hit},
+        }
+        if query.include_series:
+            payload["series"] = {
+                "filename": series_filename(series),
+                "fieldnames": list(FIELDNAMES),
+                "rows": [
+                    sample_row(sample, series) for sample in series.samples
+                ],
+            }
+        return payload
+
+    @staticmethod
+    def _best_device(query: ThresholdQuery, found) -> str:
+        """GPU wins at and beyond the threshold; CPU everywhere else.
+        With a concrete ``dim`` (a sweep parameter), compare that
+        problem instance against the threshold dims."""
+        if not found.found:
+            return "cpu"
+        if query.dim is None:
+            return "gpu"
+        problem_type = get_problem_type(query.kernel, query.problem)
+        at = problem_type.dims_at(query.dim)
+        return "gpu" if at.max_dim >= found.dims.max_dim else "cpu"
+
+
+class ServerHandle:
+    """One started daemon: the socket server plus its service."""
+
+    def __init__(self, server, service: ThresholdService) -> None:
+        self.server = server
+        self.service = service
+        sock = server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, let in-flight requests
+        and queued sweeps finish (bounded by ``timeout``), then stop
+        the workers.  Returns True when everything completed."""
+        if timeout is None:
+            timeout = self.service.config.drain_timeout_s
+        self.server.close()
+        deadline = time.monotonic() + timeout
+        while self.service.inflight_http and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        finished = await self.service.jobs.drain(
+            max(0.1, deadline - time.monotonic())
+        )
+        await self.server.wait_closed()
+        return finished and not self.service.inflight_http
+
+
+async def start_server(config: ServeConfig, sweep_fn=None) -> ServerHandle:
+    """Bind and start serving; ``port=0`` picks an ephemeral port."""
+    service = ThresholdService(config, sweep_fn=sweep_fn)
+    service.jobs.start()
+
+    async def on_connection(reader, writer):
+        await handle_connection(reader, writer, service.handle)
+
+    server = await asyncio.start_server(
+        on_connection, host=config.host, port=config.port
+    )
+    return ServerHandle(server, service)
+
+
+# -- daemon entry point -----------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob serve",
+        description=(
+            "Serve GPU offload thresholds over HTTP/JSON, answering from "
+            "the content-addressed sweep cache and running misses "
+            "through a bounded job queue on the supervised executor."
+        ),
+    )
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST,
+        help=f"bind address (default {DEFAULT_HOST})",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="N",
+        help=f"TCP port; 0 picks an ephemeral one (default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default="results/.sweep-cache",
+        help="content-addressed sweep cache used as the hot store "
+        "(default results/.sweep-cache)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent sweep jobs (default 2)",
+    )
+    parser.add_argument(
+        "--queue-max", type=int, default=64, metavar="N",
+        help="pending-job bound; excess misses answer 503 (default 64)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="per-client token-bucket refill in requests/second "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=8, metavar="N",
+        help="token-bucket capacity per client (default 8)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline; overruns answer 504 (default 30)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="grace period for in-flight work on SIGTERM (default 30)",
+    )
+    return parser
+
+
+async def _serve_until_signal(config: ServeConfig) -> None:
+    handle = await start_server(config)
+    print(
+        f"gpu-blob serve: listening on http://{handle.host}:{handle.port} "
+        f"(cache {config.cache_dir})",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    await stop.wait()
+    print("gpu-blob serve: draining", flush=True)
+    await handle.drain()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``gpu-blob serve ...``)."""
+    args = build_serve_parser().parse_args(argv)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            queue_maxsize=args.queue_max,
+            rate=args.rate,
+            burst=args.burst,
+            request_timeout_s=args.request_timeout,
+            drain_timeout_s=args.drain_timeout,
+        )
+        asyncio.run(_serve_until_signal(config))
+    except ReproError as exc:
+        print(f"gpu-blob: error: {exc}", file=sys.stderr)
+        return 4 if isinstance(exc, IntegrityError) else (
+            3 if isinstance(exc, SweepFaultError) else 2
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Store-level cache statistics and the single-flight primitive.
+
+The ``.stats`` sidecar gives ``gpu-blob cache stats`` and the daemon's
+``/metrics`` one shared, cross-process view of the store; it must stay
+invisible to the ``*.json`` entry globs that fsck, prune, and the
+entry-count tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.cli as cli
+from repro import AnalyticBackend, RunConfig, make_model, run_sweep
+from repro.core.sweepcache import STATS_FILENAME, SingleFlight, cache_stats
+from repro.errors import ConfigError
+from repro.types import Kernel, Precision
+
+CONFIG = RunConfig(
+    max_dim=64, step=16, iterations=8,
+    kernels=(Kernel.GEMM,), precisions=(Precision.SINGLE,),
+)
+
+
+def _sweep(cache_dir):
+    return run_sweep(
+        AnalyticBackend(make_model("dawn")), CONFIG, "dawn",
+        cache_dir=cache_dir,
+    )
+
+
+def test_stats_of_a_missing_store_are_zero(tmp_path):
+    stats = cache_stats(tmp_path / "ghost")
+    assert stats == {
+        "entries": 0, "total_bytes": 0, "hits": 0, "misses": 0,
+        "stores": 0, "hit_rate": 0.0,
+    }
+
+
+def test_counters_track_miss_store_then_hit(tmp_path):
+    cache = tmp_path / "cache"
+    first = _sweep(cache)
+    assert first.cache_hit is False
+    stats = cache_stats(cache)
+    assert stats["entries"] == 1
+    assert stats["total_bytes"] > 0
+    assert (stats["misses"], stats["stores"], stats["hits"]) == (1, 1, 0)
+
+    second = _sweep(cache)
+    assert second.cache_hit is True
+    stats = cache_stats(cache)
+    assert stats["hits"] == 1
+    assert stats["hit_rate"] == 0.5
+
+
+def test_sidecar_is_invisible_to_entry_globs(tmp_path):
+    cache = tmp_path / "cache"
+    _sweep(cache)
+    assert (cache / STATS_FILENAME).exists()
+    assert not STATS_FILENAME.endswith(".json")
+    assert len(list(cache.glob("*.json"))) == 1
+    # total_bytes counts entries only, not the sidecar
+    (entry,) = cache.glob("*.json")
+    assert cache_stats(cache)["total_bytes"] == entry.stat().st_size
+
+
+def test_cli_cache_stats_text_and_json(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _sweep(cache)
+    _sweep(cache)
+
+    assert cli.main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:    1" in out
+    assert "hits:       1" in out
+    assert "hit rate:   0.500" in out
+
+    assert cli.main(
+        ["cache", "stats", "--cache-dir", str(cache), "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 1
+    assert payload["hits"] == 1
+    assert payload["misses"] == 1
+    assert payload["stores"] == 1
+    assert payload["hit_rate"] == 0.5
+
+
+def test_single_flight_coalesces_concurrent_callers():
+    flight = SingleFlight()
+    calls = []
+    gate = threading.Event()
+
+    def work():
+        calls.append(1)
+        gate.wait(2.0)
+        return {"answer": 42}
+
+    results = [None] * 4
+
+    def runner(i):
+        results[i] = flight.do("key", work)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    gate.set()
+    for t in threads:
+        t.join(5.0)
+    assert len(calls) == 1
+    assert all(r is results[0] for r in results), "followers share the object"
+    assert flight.coalesced == 3
+
+
+def test_single_flight_propagates_the_leaders_exception():
+    flight = SingleFlight()
+
+    def boom():
+        raise ConfigError("bad sweep")
+
+    with pytest.raises(ConfigError):
+        flight.do("key", boom)
+    # the flight is gone afterwards: a retry runs fresh
+    assert flight.do("key", lambda: "ok") == "ok"
+
+
+def test_unknown_problem_config_error_lists_valid_idents():
+    with pytest.raises(ConfigError) as err:
+        RunConfig(kernels=(Kernel.GEMM,), problem_idents=("cube",))
+    message = str(err.value)
+    assert "square" in message
+    assert "gemm" in message
+
+
+def test_cli_unknown_problem_lists_valid_idents(capsys):
+    code = cli.main([
+        "-i", "1", "-d", "64", "--system", "dawn", "--kernel", "gemv",
+        "--problem", "mn_k32", "--no-cache", "--quiet",
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("gpu-blob: error: ")
+    assert "square" in err
+    assert "gemv" in err

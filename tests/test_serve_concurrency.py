@@ -1,0 +1,230 @@
+"""Concurrent behaviour of the serving daemon.
+
+The expensive invariant: a thundering herd on one cold key must run
+**one** sweep and hand every waiter the same answer.  The failure
+surface: over-quota clients get a 429 with ``Retry-After``, deadline
+overruns get a 504, a full queue gets a 503 — all with structured JSON
+bodies — and SIGTERM-style drain finishes in-flight work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import AnalyticBackend, RunConfig, make_model, run_sweep
+from repro.serve.client import ServeClient
+from repro.serve.jobs import JobQueue, QueueFullError
+from repro.serve.service import ServeConfig, start_server
+from repro.types import Kernel, Precision
+
+BODY = {
+    "system": "dawn",
+    "kernel": "gemm",
+    "problem": "square",
+    "precision": "single",
+    "iterations": 8,
+    "paradigm": "once",
+    "min_dim": 1,
+    "max_dim": 64,
+    "step": 16,
+}
+
+
+class CountingSweep:
+    """A ``run_sweep`` stand-in: real result, controlled latency."""
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.calls = 0
+        self.delay_s = delay_s
+        config = RunConfig(
+            max_dim=64, step=16, iterations=8,
+            kernels=(Kernel.GEMM,), precisions=(Precision.SINGLE,),
+        )
+        self._result = run_sweep(
+            AnalyticBackend(make_model("dawn")), config, "dawn"
+        )
+
+    def __call__(self, backend, config, system_name=None, cache_dir=None):
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return self._result
+
+
+def test_hot_key_coalesces_to_one_sweep(tmp_path):
+    sweep = CountingSweep(delay_s=0.2)
+
+    async def check():
+        config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        handle = await start_server(config, sweep_fn=sweep)
+        clients = [ServeClient(handle.host, handle.port) for _ in range(6)]
+        try:
+            responses = await asyncio.gather(
+                *(c.post("/v1/threshold", BODY) for c in clients)
+            )
+            assert [r.status for r in responses] == [200] * 6
+            bodies = {r.body for r in responses}
+            assert len(bodies) == 1, "coalesced waiters must agree byte-for-byte"
+            metrics = (
+                await clients[0].get("/metrics")
+            ).json()
+            assert metrics["cache"]["coalesced"] >= 1
+            assert metrics["jobs"]["sweeps_executed"] == 1
+        finally:
+            for c in clients:
+                await c.close()
+            await handle.drain(5.0)
+        assert sweep.calls == 1
+
+    asyncio.run(check())
+
+
+def test_rate_limit_answers_429_with_retry_after(tmp_path):
+    async def check():
+        config = ServeConfig(
+            port=0, cache_dir=str(tmp_path / "cache"), rate=0.5, burst=1
+        )
+        handle = await start_server(config, sweep_fn=CountingSweep())
+        client = ServeClient(handle.host, handle.port)
+        try:
+            headers = (("X-Client-Id", "tenant-a"),)
+            first = await client.post("/v1/threshold", BODY, headers=headers)
+            assert first.status == 200
+            second = await client.post("/v1/threshold", BODY, headers=headers)
+            assert second.status == 429
+            assert int(second.headers["retry-after"]) >= 1
+            error = second.json()["error"]
+            assert error["family"] == "quota"
+            assert error["retry_after_s"] > 0
+            # a different client id has its own bucket
+            other = await client.post(
+                "/v1/threshold", BODY, headers=(("X-Client-Id", "tenant-b"),)
+            )
+            assert other.status == 200
+            metrics = (await client.get("/metrics")).json()
+            assert metrics["jobs"]["rate_limited"] == 1
+            assert metrics["statuses"]["429"] == 1
+        finally:
+            await client.close()
+            await handle.drain(5.0)
+
+    asyncio.run(check())
+
+
+def test_deadline_overrun_answers_504(tmp_path):
+    sweep = CountingSweep(delay_s=0.4)
+
+    async def check():
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            request_timeout_s=0.05,
+        )
+        handle = await start_server(config, sweep_fn=sweep)
+        client = ServeClient(handle.host, handle.port)
+        try:
+            r = await client.post("/v1/threshold", BODY)
+            assert r.status == 504
+            error = r.json()["error"]
+            assert error["family"] == "fault" and error["exit_code"] == 3
+            metrics = (await client.get("/metrics")).json()
+            assert metrics["jobs"]["deadline_expired"] == 1
+        finally:
+            await client.close()
+            # drain still finishes the abandoned job
+            assert await handle.drain(5.0) is True
+        assert sweep.calls == 1
+
+    asyncio.run(check())
+
+
+def test_queue_full_rejects_with_queue_full_error():
+    async def check():
+        queue = JobQueue(workers=1, maxsize=1)  # never started: jobs sit
+
+        async def job():
+            return "done"
+
+        queue.submit("a", job)
+        # same key coalesces instead of consuming the single slot
+        future_a, coalesced = queue.submit("a", job)
+        assert coalesced is True
+        with pytest.raises(QueueFullError):
+            queue.submit("b", job)
+        queue.start()
+        assert await asyncio.wait_for(future_a, 5.0) == "done"
+        assert await queue.drain(5.0) is True
+
+    asyncio.run(check())
+
+
+def test_queue_full_maps_to_503(tmp_path):
+    sweep = CountingSweep(delay_s=0.3)
+
+    async def check():
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            workers=1,
+            queue_maxsize=1,
+        )
+        handle = await start_server(config, sweep_fn=sweep)
+        clients = [ServeClient(handle.host, handle.port) for _ in range(3)]
+        try:
+            # distinct keys so nothing coalesces: occupy the worker ...
+            t1 = asyncio.ensure_future(
+                clients[0].post("/v1/threshold", BODY)
+            )
+            await asyncio.sleep(0.1)  # worker picked up the first job
+            # ... fill the one queue slot ...
+            t2 = asyncio.ensure_future(
+                clients[1].post("/v1/threshold", dict(BODY, max_dim=48))
+            )
+            await asyncio.sleep(0.05)
+            # ... and overflow it
+            r3 = await clients[2].post(
+                "/v1/threshold", dict(BODY, max_dim=32)
+            )
+            assert r3.status == 503
+            error = r3.json()["error"]
+            assert error["family"] == "fault" and error["exit_code"] == 3
+            r1, r2 = await asyncio.gather(t1, t2)
+            assert r1.status == 200 and r2.status == 200
+        finally:
+            for c in clients:
+                await c.close()
+            await handle.drain(10.0)
+
+    asyncio.run(check())
+
+
+def test_drain_finishes_inflight_work_then_refuses_connections(tmp_path):
+    sweep = CountingSweep(delay_s=0.2)
+
+    async def check():
+        config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        handle = await start_server(config, sweep_fn=sweep)
+        client = ServeClient(handle.host, handle.port)
+        try:
+            pending = asyncio.ensure_future(
+                client.post("/v1/threshold", BODY)
+            )
+            await asyncio.sleep(0.05)
+            assert await handle.drain(5.0) is True
+            response = await pending
+            assert response.status == 200
+            assert json.loads(response.body)["system"] == "dawn"
+        finally:
+            await client.close()
+        with pytest.raises((ConnectionError, OSError)):
+            fresh = ServeClient(handle.host, handle.port)
+            try:
+                await fresh.get("/healthz")
+            finally:
+                await fresh.close()
+
+    asyncio.run(check())
