@@ -28,8 +28,17 @@ from .core.invariants import InvariantContext, check_samples, validate_spec
 from .core.records import PerfSample, ProblemSeries, QuarantineEntry
 from .core.runner import RetryPolicy, RunResult, SweepStats, run_sweep
 from .core.sweepcache import prune_cache
+from .core.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    Scenario,
+    expand_scenarios,
+    load_campaign,
+    run_campaign,
+)
 from .errors import (
     CacheIntegrityWarning,
+    CampaignDriftError,
     CheckpointError,
     ConfigError,
     IntegrityError,
@@ -49,8 +58,10 @@ from .systems.catalog import (
     get_system,
     make_model,
     register_system,
+    resolve_system,
     system_names,
 )
+from .systems.specio import dumps_spec, load_spec, loads_spec, write_spec
 from .systems.specs import (
     CpuSocketSpec,
     GpuSpec,
@@ -75,6 +86,9 @@ __all__ = [
     "ALL_PRECISIONS",
     "AnalyticBackend",
     "CacheIntegrityWarning",
+    "CampaignDriftError",
+    "CampaignResult",
+    "CampaignSpec",
     "CheckpointError",
     "CombinedBackend",
     "ConfigError",
@@ -106,6 +120,7 @@ __all__ = [
     "RetryPolicy",
     "RunConfig",
     "RunResult",
+    "Scenario",
     "SweepFaultError",
     "SweepStats",
     "SystemSpec",
@@ -114,15 +129,23 @@ __all__ = [
     "UsmSpec",
     "backend_names",
     "check_samples",
+    "dumps_spec",
+    "expand_scenarios",
     "find_offload_threshold",
     "fsck_paths",
-    "make_backend",
     "get_system",
+    "load_campaign",
+    "load_spec",
+    "loads_spec",
+    "make_backend",
     "make_model",
     "prune_cache",
     "register_system",
+    "resolve_system",
+    "run_campaign",
     "run_sweep",
     "system_names",
     "threshold_for_series",
     "validate_spec",
+    "write_spec",
 ]

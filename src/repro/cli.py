@@ -10,10 +10,19 @@ Examples::
         --max-retries 2 --checkpoint ck.jsonl -o results/chaos
     gpu-blob -i 8 -d 512 --system lumi --checkpoint ck.jsonl --resume
     gpu-blob -i 8 -d 512 --system dawn --strict -j 4
+    gpu-blob -i 8 -d 512 --system specs/lumi.toml --step 8
     gpu-blob fsck results/dawn-i8 ck.jsonl --repair
     gpu-blob cache prune --max-entries 32
     gpu-blob cache stats --json
     gpu-blob serve --port 8377 --workers 2 --rate 50
+    gpu-blob campaign campaigns/ci-smoke.toml -o results/campaign/ci-smoke
+    gpu-blob campaign campaigns/ci-smoke.toml --checkpoint-dir ck --resume
+    gpu-blob spec lint specs
+    gpu-blob spec list
+
+``--system`` accepts a registry name (``dawn``, ``lumi``,
+``isambard-ai``, or anything on ``$REPRO_SPEC_PATH``/``./specs``) or a
+path to a ``.toml``/``.json`` spec file.
 
 With ``-o`` the per-series CSVs land in the given directory (plus a
 ``quarantine.json`` report when samples were quarantined); without it
@@ -39,10 +48,15 @@ from .core.runner import RetryPolicy, run_sweep
 from .core.tables import run_summary
 from .errors import IntegrityError, ReproError, SweepFaultError
 from .faults import FaultPlan
-from .systems.catalog import make_model, system_names
+from .systems.catalog import make_model
 from .types import ALL_PRECISIONS, Kernel, Precision, TransferType
 
-__all__ = ["build_parser", "main"]
+__all__ = [
+    "build_campaign_parser",
+    "build_parser",
+    "build_spec_parser",
+    "main",
+]
 
 #: Default location of the content-addressed sweep cache.
 DEFAULT_CACHE_DIR = "results/.sweep-cache"
@@ -82,8 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep stride; the largest size is always included (default 8)",
     )
     parser.add_argument(
-        "--system", default="isambard-ai", choices=tuple(system_names()),
-        help="modelled system (default isambard-ai)",
+        "--system", default="isambard-ai", metavar="NAME|SPEC",
+        help="modelled system: a registry/spec name or a path to a "
+        ".toml/.json system-spec file (default isambard-ai)",
     )
     parser.add_argument(
         "--kernel", choices=("gemm", "gemv", "both"), default="both",
@@ -271,6 +286,205 @@ def build_cache_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob campaign",
+        description=(
+            "Run a benchmarking campaign: expand the scenario matrix "
+            "(systems x problem types x precisions x paradigms) of a "
+            "campaign TOML/JSON file, fan it across the supervised "
+            "parallel executor, and aggregate every offload threshold "
+            "into one cross-system report (CSV + JSON).  With a stored "
+            "golden, a drifted report exits 4 (the integrity family)."
+        ),
+    )
+    parser.add_argument(
+        "file", metavar="CAMPAIGN",
+        help="campaign .toml/.json file (see campaigns/ci-smoke.toml)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="DIR", default=None,
+        help="write campaign_report.{csv,json} plus per-scenario series "
+        "CSVs into DIR",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per scenario sweep (overrides the "
+        "campaign's [execution] jobs)",
+    )
+    parser.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="override the campaign's [execution] backend",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="journal each scenario to its own JSONL checkpoint in DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed samples from --checkpoint-dir journals",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="stop the campaign after N scenarios (deterministic "
+        "interruption for resume testing); no report is written",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help="content-addressed sweep cache shared by all scenarios "
+        f"(default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the sweep cache: neither read nor write it",
+    )
+    parser.add_argument(
+        "--golden", metavar="CSV", default=None,
+        help="drift-check the aggregated report against this golden CSV "
+        "(overrides the campaign's [drift] golden)",
+    )
+    parser.add_argument(
+        "--no-drift", action="store_true",
+        help="skip drift detection even when the campaign names a golden",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="strict mode: the model-invariant guard rejects "
+        "miscalibrated specs and implausible samples (exit 4)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-scenario progress and the report summary",
+    )
+    return parser
+
+
+def _main_campaign(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from .core.campaign import (
+        assert_no_drift,
+        load_campaign,
+        run_campaign,
+        write_report,
+    )
+
+    args = build_campaign_parser().parse_args(argv)
+    log = (lambda line: None) if args.quiet else print
+    try:
+        if args.resume and not args.checkpoint_dir:
+            raise ReproError("--resume needs --checkpoint-dir DIR")
+        campaign = load_campaign(args.file)
+        log(
+            f"campaign {campaign.name!r}: {len(campaign.systems)} "
+            f"system(s), matrix of {campaign.matrix_size} cell(s)"
+        )
+        result = run_campaign(
+            campaign,
+            jobs=args.jobs,
+            backend=args.backend,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            strict=args.strict,
+            stop_after=args.stop_after,
+            log=log,
+        )
+        if not result.complete:
+            log(
+                f"campaign partial ({result.executed}/"
+                f"{len(result.scenarios)} scenario(s)); no report written"
+            )
+            return 0
+        rows = result.rows()
+        if args.output:
+            paths = write_report(result, args.output)
+            log(f"wrote {', '.join(str(p) for p in paths)}")
+        golden = (
+            Path(args.golden) if args.golden else campaign.golden_path()
+        )
+        if golden is not None and not args.no_drift:
+            assert_no_drift(rows, golden)
+            log(f"no drift against {golden}")
+    except ReproError as exc:
+        print(f"gpu-blob: error: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+    found = sum(1 for r in rows if r["found"] == "1")
+    log(
+        f"campaign {campaign.name!r} complete: {len(rows)} threshold "
+        f"row(s), {found} with a GPU offload threshold"
+    )
+    return 0
+
+
+def build_spec_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob spec",
+        description=(
+            "Inspect and lint system-spec files.  'lint' loads every "
+            "given spec (or every spec in the given directories) under "
+            "the strict invariant auditor and exits 4 if any fails; "
+            "'list' shows the registry plus every discoverable spec file."
+        ),
+    )
+    sub = parser.add_subparsers(dest="spec_command", required=True)
+    lint = sub.add_parser(
+        "lint", help="strict-load spec files; exit 4 on any failure"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="spec files or directories (default: the spec search path)",
+    )
+    sub.add_parser(
+        "list", help="show registry names and discovered spec files"
+    )
+    return parser
+
+
+def _main_spec(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from .systems.catalog import discover_specs, spec_search_dirs, system_names
+    from .systems.specio import SPEC_SUFFIXES, load_spec
+
+    args = build_spec_parser().parse_args(argv)
+    if args.spec_command == "list":
+        print(f"registry: {', '.join(system_names())}")
+        for stem, path in sorted(discover_specs().items()):
+            print(f"  {stem}: {path}")
+        return 0
+    paths: List[Path] = []
+    for raw in args.paths or [str(d) for d in spec_search_dirs()]:
+        p = Path(raw)
+        if p.is_dir():
+            for suffix in SPEC_SUFFIXES:
+                paths.extend(sorted(p.glob(f"*{suffix}")))
+        elif p.is_file():
+            paths.append(p)
+        else:
+            print(f"gpu-blob: error: no spec file or directory at {p}",
+                  file=sys.stderr)
+            return 2
+    if not paths:
+        print("spec lint: no spec files found", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            spec = load_spec(path, strict=True)
+        except ReproError as exc:
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+        else:
+            print(f"ok   {path} ({spec.name})")
+    if failures:
+        print(f"spec lint: {failures} of {len(paths)} spec(s) failed",
+              file=sys.stderr)
+        return 4
+    print(f"spec lint: all {len(paths)} spec(s) verify")
+    return 0
+
+
 def _main_fsck(argv: List[str]) -> int:
     from .core.fsck import fsck_paths
 
@@ -350,6 +564,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .serve.service import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _main_campaign(argv[1:])
+    if argv and argv[0] == "spec":
+        return _main_spec(argv[1:])
     return _main_sweep(argv)
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 __all__ = [
     "CacheIntegrityWarning",
+    "CampaignDriftError",
     "CheckpointError",
     "ConfigError",
     "DeferredFeatureError",
@@ -144,6 +145,20 @@ class ModelInvariantError(IntegrityError):
     (``RunConfig.validate=True`` / ``--strict``); the default mode emits
     :class:`ModelInvariantWarning` instead.
     """
+
+
+class CampaignDriftError(IntegrityError):
+    """A campaign's aggregated threshold report no longer matches its
+    stored golden: thresholds moved, appeared, or vanished.  Drift means
+    either the model changed behaviour or the golden is stale — both
+    need a human decision, so ``gpu-blob campaign`` exits 4.
+
+    ``drifts`` carries one human-readable line per drifted report key.
+    """
+
+    def __init__(self, message: str, drifts=()) -> None:
+        super().__init__(message)
+        self.drifts = tuple(drifts)
 
 
 #: Fault errors the resilient runner retries with backoff; everything

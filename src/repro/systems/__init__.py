@@ -1,9 +1,19 @@
-"""Calibrated system models of the paper's three machines."""
+"""Calibrated system models of the paper's three machines, plus the
+data-driven spec registry (TOML/JSON spec files under ``specs/``)."""
 
-from .catalog import get_system, make_model, register_system, system_names
+from .catalog import (
+    discover_specs,
+    get_system,
+    make_model,
+    register_system,
+    resolve_system,
+    spec_search_dirs,
+    system_names,
+)
 from .dawn import DAWN, MAX_1550_TILE, XEON_8468
 from .isambard import GRACE_72, H100_GH200, ISAMBARD_AI
 from .lumi import EPYC_7A53, LUMI, MI250X_GCD
+from .specio import dumps_spec, load_spec, loads_spec, write_spec
 from .specs import (
     CpuSocketSpec,
     GpuSpec,
@@ -29,8 +39,15 @@ __all__ = [
     "SystemSpec",
     "UsmSpec",
     "XEON_8468",
+    "discover_specs",
+    "dumps_spec",
     "get_system",
+    "load_spec",
+    "loads_spec",
     "make_model",
     "register_system",
+    "resolve_system",
+    "spec_search_dirs",
     "system_names",
+    "write_spec",
 ]

@@ -1,23 +1,104 @@
-"""System registry and model factory."""
+"""System registry, spec-file discovery, and the model factory.
+
+Systems resolve in a documented order (DESIGN §12):
+
+1. an explicit :class:`SystemSpec` instance is used as-is;
+2. an ident that *looks like a path* (contains a separator or ends in a
+   spec suffix) is loaded as a spec file;
+3. an exact registry name — the three calibrated machines plus anything
+   :func:`register_system` added;
+4. a spec file named ``<ident>.toml``/``<ident>.json`` discovered on
+   the spec search path: ``$REPRO_SPEC_PATH`` entries first, then
+   ``./specs``, then the repo's committed ``specs/`` directory.
+
+The three calibrated systems are **dogfooded through the loader**: at
+import the registry prefers the committed ``specs/*.toml`` files over
+the Python fallback modules (:mod:`.dawn`, :mod:`.lumi`,
+:mod:`.isambard`), so every golden regression exercises the spec-file
+path end to end.  The test suite pins file == dataclass equality, which
+is what keeps the Table III–VI goldens byte-identical either way.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
-from ..errors import UnknownSystemError
+from ..errors import ReproWarning, UnknownSystemError
 from .dawn import DAWN
 from .isambard import ISAMBARD_AI
 from .lumi import LUMI
+from .specio import SPEC_SUFFIXES, load_spec
 from .specs import SystemSpec
 
 __all__ = [
+    "builtin_spec_dir",
+    "discover_specs",
     "get_system",
     "make_model",
     "register_system",
+    "resolve_system",
+    "spec_search_dirs",
     "system_names",
 ]
 
+#: Environment variable naming extra spec directories (colon-separated
+#: on POSIX, like ``$PATH``), searched before the defaults.
+SPEC_PATH_ENV = "REPRO_SPEC_PATH"
+
 _REGISTRY: Dict[str, SystemSpec] = {}
+
+#: The Python fallback calibrations, used when the committed spec file
+#: is absent (e.g. an installed wheel without the repo checkout).
+_BUILTIN_FALLBACKS = (DAWN, LUMI, ISAMBARD_AI)
+
+
+def builtin_spec_dir() -> Optional[Path]:
+    """The repo's committed ``specs/`` directory, if this package runs
+    from a checkout (``<root>/src/repro/systems/`` -> ``<root>/specs``);
+    ``None`` otherwise."""
+    try:
+        root = Path(__file__).resolve().parents[3] / "specs"
+    except (OSError, IndexError):  # pragma: no cover - exotic layouts
+        return None
+    return root if root.is_dir() else None
+
+
+def spec_search_dirs() -> List[Path]:
+    """Spec directories in search order: ``$REPRO_SPEC_PATH`` entries,
+    then ``./specs``, then the repo's committed ``specs/``."""
+    dirs: List[Path] = []
+    env = os.environ.get(SPEC_PATH_ENV, "")
+    for entry in env.split(os.pathsep):
+        if entry:
+            dirs.append(Path(entry))
+    dirs.append(Path("specs"))
+    builtin = builtin_spec_dir()
+    if builtin is not None:
+        dirs.append(builtin)
+    seen = set()
+    unique = []
+    for d in dirs:
+        key = str(d.resolve()) if d.exists() else str(d)
+        if key not in seen:
+            seen.add(key)
+            unique.append(d)
+    return unique
+
+
+def discover_specs() -> Dict[str, Path]:
+    """Spec files on the search path, keyed by file stem.  Earlier
+    directories shadow later ones (first hit per name wins)."""
+    found: Dict[str, Path] = {}
+    for directory in spec_search_dirs():
+        if not directory.is_dir():
+            continue
+        for suffix in SPEC_SUFFIXES:
+            for path in sorted(directory.glob(f"*{suffix}")):
+                found.setdefault(path.stem, path)
+    return found
 
 
 def register_system(spec: SystemSpec, overwrite: bool = False) -> SystemSpec:
@@ -29,21 +110,107 @@ def register_system(spec: SystemSpec, overwrite: bool = False) -> SystemSpec:
     return spec
 
 
-for _spec in (DAWN, LUMI, ISAMBARD_AI):
-    register_system(_spec)
+def _register_builtins() -> None:
+    """Register the calibrated systems, preferring the committed spec
+    files (so the loader sits on the golden path) with the Python
+    modules as fallback calibration."""
+    spec_dir = builtin_spec_dir()
+    for fallback in _BUILTIN_FALLBACKS:
+        spec = fallback
+        if spec_dir is not None:
+            path = spec_dir / f"{fallback.name}.toml"
+            if path.is_file():
+                try:
+                    loaded = load_spec(path, strict=True)
+                except Exception as exc:
+                    warnings.warn(
+                        f"committed spec file {path} failed to load "
+                        f"({exc}); using the built-in "
+                        f"{fallback.name!r} calibration",
+                        ReproWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    if loaded.name == fallback.name:
+                        spec = loaded
+                    else:
+                        warnings.warn(
+                            f"spec file {path} names system "
+                            f"{loaded.name!r}, expected "
+                            f"{fallback.name!r}; using the built-in "
+                            "calibration",
+                            ReproWarning,
+                            stacklevel=2,
+                        )
+        _REGISTRY[fallback.name] = spec
+
+
+_register_builtins()
+
+
+def _unknown_system(name: str) -> UnknownSystemError:
+    """The full story of where a system name was looked for: registry
+    names, discovered spec files, and the searched spec directories."""
+    specs = discover_specs()
+    discovered = sorted(set(specs) - set(_REGISTRY))
+    searched = ", ".join(str(d) for d in spec_search_dirs())
+    message = (
+        f"unknown system {name!r}; registry: {sorted(_REGISTRY)}"
+    )
+    if discovered:
+        message += f"; spec files: {discovered}"
+    message += (
+        f" (spec directories searched: {searched}; pass a name above or "
+        "a path to a .toml/.json spec file)"
+    )
+    return UnknownSystemError(message)
 
 
 def get_system(name: str) -> SystemSpec:
+    """Exact registry lookup (no file fallback); see
+    :func:`resolve_system` for the full resolution order."""
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise UnknownSystemError(
-            f"unknown system {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+        raise _unknown_system(name) from None
 
 
 def system_names() -> tuple:
     return tuple(sorted(_REGISTRY))
+
+
+def resolve_system(system: Union[str, SystemSpec],
+                   strict: bool = True) -> SystemSpec:
+    """Resolve a system ident — registry name, spec-file path, or
+    discovered spec-file stem — into a :class:`SystemSpec`.
+
+    Loaded files are audited by the invariant auditor
+    (:func:`~repro.core.invariants.validate_spec`); ``strict`` rejects a
+    miscalibrated file with
+    :class:`~repro.errors.ModelInvariantError`.
+    """
+    if isinstance(system, SystemSpec):
+        return system
+    name = str(system)
+    looks_like_path = (
+        os.sep in name
+        or (os.altsep is not None and os.altsep in name)
+        or name.endswith(SPEC_SUFFIXES)
+    )
+    if looks_like_path:
+        if Path(name).is_file():
+            return load_spec(name, strict=strict)
+        raise UnknownSystemError(
+            f"spec file {name!r} does not exist (spec directories "
+            f"searched for names: "
+            f"{', '.join(str(d) for d in spec_search_dirs())})"
+        )
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    discovered = discover_specs().get(name)
+    if discovered is not None:
+        return load_spec(discovered, strict=strict)
+    raise _unknown_system(name)
 
 
 def make_model(
@@ -55,16 +222,18 @@ def make_model(
 ):
     """Build a :class:`~repro.sim.perfmodel.NodePerfModel` for a system.
 
-    ``system`` is a registered name or a :class:`SystemSpec`.  Library
-    names and the thread count override the system defaults; ``noise``
-    defaults to a small deterministic jitter (pass
-    :data:`repro.sim.noise.NO_NOISE` for exact closed forms).
+    ``system`` is anything :func:`resolve_system` accepts — a registry
+    name, a spec-file path, a discovered spec stem, or a
+    :class:`SystemSpec`.  Library names and the thread count override
+    the system defaults; ``noise`` defaults to a small deterministic
+    jitter (pass :data:`repro.sim.noise.NO_NOISE` for exact closed
+    forms).
     """
     from ..blas.registry import get_cpu_library, get_gpu_library
     from ..sim.noise import DeterministicNoise
     from ..sim.perfmodel import NodePerfModel
 
-    spec = system if isinstance(system, SystemSpec) else get_system(system)
+    spec = resolve_system(system)
     cpu_lib = get_cpu_library(cpu_library or spec.cpu_library)
     gpu_lib = get_gpu_library(gpu_library or spec.gpu_library)
     if cpu_threads is not None:

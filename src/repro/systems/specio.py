@@ -1,0 +1,455 @@
+"""System specs as data: TOML/JSON files that round-trip ``SystemSpec``.
+
+The calibrated machines started life as Python modules; this module is
+what makes them *artifacts* instead — a spec file under ``specs/`` is
+the complete description of one heterogeneous node, loadable by name or
+path, shareable between repos, and linted in CI.  The schema mirrors the
+:mod:`repro.systems.specs` dataclasses table for table::
+
+    schema = 1
+    name = "dawn"
+    cpu_library = "onemkl"
+    gpu_library = "onemkl-gpu"
+    cpu_threads = 48
+
+    [cpu]        # CpuSocketSpec
+    [cpu.matrix_engine]           # optional MatrixEngineSpec
+    [cpu.matrix_engine.speedups]  # {precision value: rate multiplier}
+    [gpu]        # GpuSpec; omit the table entirely for a CPU-only node
+    [link]       # LinkSpec
+    [usm]        # UsmSpec (all fields optional, driver defaults apply)
+
+Floats are written with ``repr`` and parsed back by the TOML/JSON
+readers, which round-trips every IEEE-754 double exactly — so a spec
+loaded from the committed file produces *byte-identical* goldens to the
+Python dataclass it was exported from (a property the test suite pins).
+
+Every load is audited by the model-invariant guard's
+:func:`~repro.core.invariants.validate_spec`: a spec calibrated above
+its own link bandwidth raises :class:`~repro.errors.ModelInvariantError`
+(``strict=True``, the default) or warns
+(:class:`~repro.errors.ModelInvariantWarning`).  Schema problems —
+unknown keys, missing tables, wrong types — are
+:class:`~repro.errors.ConfigError` (exit 2), calibration problems are
+integrity errors (exit 4), matching the CLI exit-code taxonomy.
+
+Python 3.11+ parses TOML with :mod:`tomllib`; on 3.10 a minimal
+built-in reader covers the subset this schema (and the campaign schema)
+emits: tables, dotted headers, strings, booleans, integers, floats and
+single-line arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import warnings
+from dataclasses import MISSING, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError, ModelInvariantError, ModelInvariantWarning
+from .specs import (
+    CpuSocketSpec,
+    GpuSpec,
+    LinkSpec,
+    MatrixEngineSpec,
+    SystemSpec,
+    UsmSpec,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SPEC_SUFFIXES",
+    "dumps_spec",
+    "load_spec",
+    "loads_spec",
+    "parse_toml",
+    "spec_from_dict",
+    "spec_to_dict",
+]
+
+#: Bumped when the file layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: File suffixes the loader (and spec discovery) accepts.
+SPEC_SUFFIXES = (".toml", ".json")
+
+
+# -- TOML reading -----------------------------------------------------
+
+
+def parse_toml(text: str, source: str = "<string>") -> dict:
+    """Parse TOML into a dict — :mod:`tomllib` when available (3.11+),
+    else the minimal built-in reader."""
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10
+        return _parse_toml_minimal(text, source)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"{source}: invalid TOML: {exc}") from None
+
+
+def _parse_toml_minimal(text: str, source: str) -> dict:
+    """Tiny TOML subset reader for Python 3.10 (no ``tomllib``).
+
+    Covers exactly what :func:`dumps_spec` and the campaign schema emit:
+    ``[dotted.table]`` headers, ``key = value`` pairs with basic
+    strings, booleans, integers, floats, and single-line arrays.
+    """
+    root: Dict[str, Any] = {}
+    table = root
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{source}:{lineno}"
+        if line.startswith("["):
+            if not line.endswith("]") or line.startswith("[["):
+                raise ConfigError(f"{where}: unsupported table header {line!r}")
+            table = root
+            for part in line[1:-1].strip().split("."):
+                part = part.strip()
+                if not part:
+                    raise ConfigError(f"{where}: empty table name in {line!r}")
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise ConfigError(f"{where}: {part!r} is not a table")
+            continue
+        if "=" not in line:
+            raise ConfigError(f"{where}: expected `key = value`, got {line!r}")
+        key, _, value = line.partition("=")
+        table[key.strip().strip('"')] = _toml_value(value.strip(), where)
+    return root
+
+
+def _toml_value(token: str, where: str):
+    if token.startswith('"'):
+        try:
+            value, end = json.JSONDecoder().raw_decode(token)
+        except ValueError:
+            raise ConfigError(f"{where}: bad string {token!r}") from None
+        rest = token[end:].strip()
+        if rest and not rest.startswith("#"):
+            raise ConfigError(f"{where}: trailing junk after string: {rest!r}")
+        return value
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise ConfigError(f"{where}: arrays must be single-line")
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _toml_value(item.strip(), where)
+            for item in _split_array(inner, where)
+        ]
+    token = token.split("#", 1)[0].strip()
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    cleaned = token.replace("_", "")
+    try:
+        if not any(c in cleaned for c in ".eE") or cleaned.startswith("0x"):
+            return int(cleaned, 0)
+        return float(cleaned)
+    except ValueError:
+        raise ConfigError(f"{where}: unsupported value {token!r}") from None
+
+
+def _split_array(inner: str, where: str) -> List[str]:
+    """Split a single-line array body on top-level commas."""
+    items, buf, in_str, escaped = [], [], False, False
+    for ch in inner:
+        if in_str:
+            buf.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_str = False
+            continue
+        if ch == '"':
+            in_str = True
+            buf.append(ch)
+        elif ch == ",":
+            items.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if in_str:
+        raise ConfigError(f"{where}: unterminated string in array")
+    tail = "".join(buf).strip()
+    if tail:
+        items.append(tail)
+    return [i for i in (s.strip() for s in items) if i]
+
+
+# -- dict <-> dataclass -----------------------------------------------
+
+#: Spec-file fields that are integral counts (everything else numeric
+#: is a float); used to canonicalize types so a loaded spec compares
+#: equal to — and reprs identically to — its Python twin.
+_INT_FIELDS = {
+    "cores", "cpu_threads", "pages_per_fault", "page_bytes", "schema",
+}
+
+
+def _coerce(section: str, name: str, value, annotation):
+    kind = str(annotation)
+    if "float" in kind and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        return float(value)
+    if "int" in kind and name in _INT_FIELDS:
+        if isinstance(value, bool) or (
+            isinstance(value, float) and not value.is_integer()
+        ):
+            raise ConfigError(
+                f"[{section}] {name} must be an integer, got {value!r}"
+            )
+        if isinstance(value, (int, float)):
+            return int(value)
+    return value
+
+
+def _build(cls, data: dict, section: str):
+    """Build one spec dataclass from one table, catching unknown keys,
+    missing required keys, and wrong types with file-oriented errors."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"[{section}] must be a table, got {data!r}")
+    spec_fields = {f.name: f for f in fields(cls)}
+    unknown = sorted(set(data) - set(spec_fields))
+    if unknown:
+        raise ConfigError(
+            f"[{section}] has unknown key(s) {unknown}; valid keys: "
+            f"{sorted(spec_fields)}"
+        )
+    kwargs = {}
+    for name, f in spec_fields.items():
+        if name in data:
+            kwargs[name] = _coerce(section, name, data[name], f.type)
+        elif f.default is MISSING and f.default_factory is MISSING:
+            raise ConfigError(f"[{section}] is missing required key {name!r}")
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"[{section}]: {exc}") from None
+
+
+def _engine_from_dict(data: dict) -> MatrixEngineSpec:
+    if not isinstance(data, dict):
+        raise ConfigError("[cpu.matrix_engine] must be a table")
+    speedups = data.get("speedups", {})
+    if not isinstance(speedups, dict):
+        raise ConfigError("[cpu.matrix_engine.speedups] must be a table")
+    rest = {k: v for k, v in data.items() if k != "speedups"}
+    engine = _build(MatrixEngineSpec, rest, "cpu.matrix_engine")
+    pairs = []
+    for precision, factor in speedups.items():
+        if not isinstance(factor, (int, float)) or isinstance(factor, bool):
+            raise ConfigError(
+                f"[cpu.matrix_engine.speedups] {precision} must be a "
+                f"number, got {factor!r}"
+            )
+        pairs.append((precision, float(factor)))
+    return MatrixEngineSpec(name=engine.name, speedups=tuple(pairs))
+
+
+def spec_from_dict(data: dict, source: str = "<dict>",
+                   strict: bool = True) -> SystemSpec:
+    """Build a validated :class:`SystemSpec` from parsed spec-file data.
+
+    Schema violations raise :class:`~repro.errors.ConfigError`;
+    calibration violations (via the invariant auditor's
+    :func:`~repro.core.invariants.validate_spec`) raise
+    :class:`~repro.errors.ModelInvariantError` when ``strict`` (the
+    default) and warn otherwise.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"{source}: spec must be a table, got {data!r}")
+    schema = data.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{source}: unsupported spec schema {schema!r} "
+            f"(this build reads schema {SCHEMA_VERSION})"
+        )
+    top = dict(data)
+    top.pop("schema", None)
+    cpu_data = top.pop("cpu", None)
+    gpu_data = top.pop("gpu", None)
+    link_data = top.pop("link", None)
+    usm_data = top.pop("usm", {})
+    for table, payload in (("cpu", cpu_data), ("link", link_data)):
+        if payload is None:
+            raise ConfigError(f"{source}: missing required table [{table}]")
+    engine_data = None
+    if isinstance(cpu_data, dict) and "matrix_engine" in cpu_data:
+        cpu_data = dict(cpu_data)
+        engine_data = cpu_data.pop("matrix_engine")
+    cpu = _build(CpuSocketSpec, cpu_data, "cpu")
+    if engine_data is not None:
+        cpu = CpuSocketSpec(
+            **{
+                **{f.name: getattr(cpu, f.name) for f in fields(CpuSocketSpec)},
+                "matrix_engine": _engine_from_dict(engine_data),
+            }
+        )
+    gpu = _build(GpuSpec, gpu_data, "gpu") if gpu_data is not None else None
+    link = _build(LinkSpec, link_data, "link")
+    usm = _build(UsmSpec, usm_data, "usm")
+    top.update({"cpu": cpu, "gpu": gpu, "link": link, "usm": usm})
+    spec = _build(SystemSpec, top, "system")
+    if not spec.name:
+        raise ConfigError(f"{source}: spec name must be non-empty")
+
+    from ..core.invariants import validate_spec
+
+    violations = validate_spec(spec)
+    if violations:
+        message = f"{source}: " + "; ".join(violations)
+        if strict:
+            raise ModelInvariantError(message)
+        warnings.warn(message, ModelInvariantWarning, stacklevel=3)
+    return spec
+
+
+def spec_to_dict(spec: SystemSpec) -> dict:
+    """The spec-file layout of one :class:`SystemSpec`, schema included."""
+    cpu = {
+        f.name: getattr(spec.cpu, f.name)
+        for f in fields(CpuSocketSpec)
+        if f.name != "matrix_engine"
+    }
+    if spec.cpu.matrix_engine is not None:
+        engine = spec.cpu.matrix_engine
+        cpu["matrix_engine"] = {
+            "name": engine.name,
+            "speedups": dict(engine.speedups),
+        }
+    out = {
+        "schema": SCHEMA_VERSION,
+        "name": spec.name,
+        "cpu_library": spec.cpu_library,
+        "gpu_library": spec.gpu_library,
+        "cpu_threads": spec.cpu_threads,
+        "cpu": cpu,
+        "link": {f.name: getattr(spec.link, f.name) for f in fields(LinkSpec)},
+        "usm": {f.name: getattr(spec.usm, f.name) for f in fields(UsmSpec)},
+    }
+    if spec.gpu is not None:
+        out["gpu"] = {
+            f.name: getattr(spec.gpu, f.name)
+            for f in fields(GpuSpec)
+            if getattr(spec.gpu, f.name) is not None
+        }
+    return out
+
+
+# -- TOML writing -----------------------------------------------------
+
+
+def _toml_scalar(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):  # pragma: no cover - rejected anyway
+            return "inf" if value > 0 else "-inf" if value < 0 else "nan"
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    raise ConfigError(f"cannot write {value!r} to a spec file")
+
+
+def _emit_table(lines: List[str], header: str, table: dict) -> None:
+    subtables = {k: v for k, v in table.items() if isinstance(v, dict)}
+    scalars = {k: v for k, v in table.items() if not isinstance(v, dict)}
+    if header:
+        lines.append(f"[{header}]")
+    for key, value in scalars.items():
+        lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in subtables.items():
+        lines.append("")
+        _emit_table(lines, f"{header}.{key}" if header else key, value)
+
+
+def dumps_spec(spec: SystemSpec) -> str:
+    """One :class:`SystemSpec` as canonical TOML text (the committed-
+    file format; ``loads_spec`` round-trips it exactly)."""
+    data = spec_to_dict(spec)
+    lines: List[str] = [f"# {spec.name}: generated by repro.systems.specio"]
+    for key in ("schema", "name", "cpu_library", "gpu_library", "cpu_threads"):
+        lines.append(f"{key} = {_toml_scalar(data[key])}")
+    for table in ("cpu", "gpu", "link", "usm"):
+        if table not in data:
+            continue
+        lines.append("")
+        _emit_table(lines, table, data[table])
+    return "\n".join(lines) + "\n"
+
+
+# -- file entry points ------------------------------------------------
+
+
+def loads_spec(text: str, format: str = "toml", source: str = "<string>",
+               strict: bool = True) -> SystemSpec:
+    """Parse spec text (``"toml"`` or ``"json"``) into a validated
+    :class:`SystemSpec`."""
+    if format == "toml":
+        data = parse_toml(text, source)
+    elif format == "json":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"{source}: invalid JSON: {exc}") from None
+    else:
+        raise ConfigError(f"unknown spec format {format!r} (toml or json)")
+    return spec_from_dict(data, source=source, strict=strict)
+
+
+def load_spec(path, strict: bool = True) -> SystemSpec:
+    """Load one spec file (``.toml`` or ``.json``) into a validated
+    :class:`SystemSpec`."""
+    path = Path(path)
+    if path.suffix not in SPEC_SUFFIXES:
+        raise ConfigError(
+            f"spec file {path} must end in one of {list(SPEC_SUFFIXES)}"
+        )
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigError(f"cannot read spec file {path}: {exc}") from None
+    format = "json" if path.suffix == ".json" else "toml"
+    return loads_spec(text, format=format, source=str(path), strict=strict)
+
+
+def write_spec(spec: SystemSpec, path) -> Path:
+    """Export one spec as a TOML file (the committed-artifact format)."""
+    path = Path(path)
+    path.write_text(dumps_spec(spec))
+    return path
+
+
+def _main(argv: Optional[Tuple[str, ...]] = None) -> int:
+    """``python -m repro.systems.specio SPEC...`` — lint spec files."""
+    import sys
+
+    paths = list(argv if argv is not None else sys.argv[1:])
+    failures = 0
+    for raw in paths:
+        try:
+            spec = load_spec(raw, strict=True)
+        except (ConfigError, ModelInvariantError) as exc:
+            print(f"{raw}: FAIL: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"{raw}: ok ({spec.name})")
+    return 4 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    raise SystemExit(_main())

@@ -1,0 +1,260 @@
+"""Data-driven system specs: round-trips, registry resolution, linting.
+
+The load-bearing property is exact round-tripping: a ``SystemSpec``
+exported to TOML (or JSON) and loaded back must compare equal AND repr
+identically to the original — ``model_cache_token`` hashes
+``repr(spec)``, so anything less would silently split the sweep cache
+and drift the Table III–VI goldens.  The committed ``specs/*.toml``
+files are pinned against the Python calibration modules for the same
+reason: the registry prefers the files at import, so the files ARE the
+golden path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigError,
+    ModelInvariantError,
+    ModelInvariantWarning,
+    UnknownSystemError,
+)
+from repro.systems import DAWN, ISAMBARD_AI, LUMI
+from repro.systems.catalog import (
+    SPEC_PATH_ENV,
+    builtin_spec_dir,
+    discover_specs,
+    get_system,
+    resolve_system,
+    spec_search_dirs,
+    system_names,
+)
+from repro.systems.specio import (
+    _parse_toml_minimal,
+    dumps_spec,
+    load_spec,
+    loads_spec,
+    spec_from_dict,
+    spec_to_dict,
+    write_spec,
+)
+from repro.systems.specs import SystemSpec
+
+CALIBRATED = (DAWN, LUMI, ISAMBARD_AI)
+
+
+# -- round-trips ------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", CALIBRATED, ids=lambda s: s.name)
+def test_toml_round_trip_is_exact(spec):
+    loaded = loads_spec(dumps_spec(spec))
+    assert loaded == spec
+    assert repr(loaded) == repr(spec)  # the model_cache_token contract
+
+
+@pytest.mark.parametrize("spec", CALIBRATED, ids=lambda s: s.name)
+def test_json_round_trip_is_exact(spec):
+    text = json.dumps(spec_to_dict(spec))
+    loaded = loads_spec(text, format="json")
+    assert loaded == spec
+    assert repr(loaded) == repr(spec)
+
+
+@pytest.mark.parametrize("spec", CALIBRATED, ids=lambda s: s.name)
+def test_committed_spec_file_matches_python_calibration(spec):
+    spec_dir = builtin_spec_dir()
+    assert spec_dir is not None, "checkout must have a specs/ directory"
+    loaded = load_spec(spec_dir / f"{spec.name}.toml")
+    assert loaded == spec
+    assert repr(loaded) == repr(spec)
+
+
+def test_registry_serves_the_file_backed_specs():
+    # _register_builtins prefers the committed files; either way the
+    # registry entry must be indistinguishable from the calibration.
+    for spec in CALIBRATED:
+        assert get_system(spec.name) == spec
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bw=st.floats(1e-3, 1e4, allow_nan=False, allow_infinity=False),
+    latency=st.floats(0, 1e-2, allow_nan=False, allow_infinity=False),
+    staging=st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False),
+    cores=st.integers(1, 512),
+    threads=st.integers(1, 512),
+)
+def test_property_round_trip_over_perturbed_specs(
+    bw, latency, staging, cores, threads
+):
+    """Any valid calibration survives TOML round-trip exactly, not just
+    the three committed points."""
+    import dataclasses
+
+    spec = dataclasses.replace(
+        DAWN,
+        name="synthetic",
+        cpu_threads=threads,
+        cpu=dataclasses.replace(DAWN.cpu, cores=cores),
+        link=dataclasses.replace(
+            DAWN.link, bw_gbs=bw, latency_s=latency, staging_bw_scale=staging
+        ),
+    )
+    loaded = loads_spec(dumps_spec(spec))
+    assert loaded == spec
+    assert repr(loaded) == repr(spec)
+
+
+def test_minimal_parser_agrees_with_tomllib_on_committed_files():
+    tomllib = pytest.importorskip("tomllib")
+    for path in sorted(builtin_spec_dir().glob("*.toml")):
+        text = path.read_text()
+        assert _parse_toml_minimal(text, str(path)) == tomllib.loads(text)
+
+
+# -- schema and calibration errors ------------------------------------
+
+
+def test_unknown_key_is_a_config_error():
+    data = spec_to_dict(DAWN)
+    data["cpu"]["warp_size"] = 32
+    with pytest.raises(ConfigError, match="warp_size"):
+        spec_from_dict(data)
+
+
+def test_missing_required_table_is_a_config_error():
+    data = spec_to_dict(DAWN)
+    del data["link"]
+    with pytest.raises(ConfigError, match=r"\[link\]"):
+        spec_from_dict(data)
+
+
+def test_unsupported_schema_version_is_a_config_error():
+    data = spec_to_dict(DAWN)
+    data["schema"] = 99
+    with pytest.raises(ConfigError, match="schema"):
+        spec_from_dict(data)
+
+
+def test_miscalibrated_spec_raises_invariant_error_when_strict():
+    data = spec_to_dict(DAWN)
+    data["link"]["staging_bw_scale"] = 1.5  # above the link's own peak
+    with pytest.raises(ModelInvariantError, match="staging_bw_scale"):
+        spec_from_dict(data, strict=True)
+    with pytest.warns(ModelInvariantWarning, match="staging_bw_scale"):
+        loose = spec_from_dict(data, strict=False)
+    assert loose.link.staging_bw_scale == 1.5
+
+
+# -- resolution order -------------------------------------------------
+
+
+def test_resolve_accepts_spec_instance_and_registry_name():
+    assert resolve_system(DAWN) is DAWN
+    assert resolve_system("dawn") == DAWN
+
+
+def test_resolve_loads_an_explicit_path(tmp_path):
+    path = write_spec(LUMI, tmp_path / "my-lumi.toml")
+    assert resolve_system(str(path)) == LUMI
+
+
+def test_resolve_discovers_stems_via_spec_path_env(tmp_path, monkeypatch):
+    import dataclasses
+
+    frontier = dataclasses.replace(DAWN, name="frontier")
+    write_spec(frontier, tmp_path / "frontier.toml")
+    monkeypatch.setenv(SPEC_PATH_ENV, str(tmp_path))
+    assert tmp_path in spec_search_dirs()
+    assert discover_specs()["frontier"] == tmp_path / "frontier.toml"
+    assert resolve_system("frontier") == frontier
+
+
+def test_missing_spec_file_path_is_unknown_system(tmp_path):
+    with pytest.raises(UnknownSystemError, match="does not exist"):
+        resolve_system(str(tmp_path / "ghost.toml"))
+
+
+def test_unknown_system_error_lists_registry_files_and_dirs(
+    tmp_path, monkeypatch
+):
+    import dataclasses
+
+    write_spec(
+        dataclasses.replace(DAWN, name="el-cap"), tmp_path / "el-cap.toml"
+    )
+    monkeypatch.setenv(SPEC_PATH_ENV, str(tmp_path))
+    with pytest.raises(UnknownSystemError) as excinfo:
+        resolve_system("nope")
+    message = str(excinfo.value)
+    for name in system_names():
+        assert name in message
+    assert "el-cap" in message  # discovered spec files are advertised
+    assert str(tmp_path) in message  # so are the searched directories
+
+
+# -- CLI surface ------------------------------------------------------
+
+
+def test_cli_system_accepts_a_spec_file_path(tmp_path, capsys):
+    import repro.cli as cli
+
+    path = write_spec(DAWN, tmp_path / "dawn-copy.toml")
+    code = cli.main([
+        "-i", "8", "-d", "64", "--step", "16", "--system", str(path),
+        "--kernel", "gemm", "--precision", "single", "--no-cache",
+        "--quiet", "-o", str(tmp_path / "out"),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    assert sorted(p.name for p in (tmp_path / "out").glob("*.csv"))
+
+
+def test_cli_unknown_system_exits_2_with_search_story(capsys):
+    import repro.cli as cli
+
+    assert cli.main(["--system", "not-a-machine", "-d", "64"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown system 'not-a-machine'" in err
+    assert "spec directories searched" in err
+
+
+def test_spec_lint_rejects_a_bad_file_with_exit_4(tmp_path, capsys):
+    import repro.cli as cli
+
+    good = write_spec(DAWN, tmp_path / "good.toml")
+    bad = tmp_path / "bad.toml"
+    bad.write_text(
+        good.read_text().replace(
+            "staging_bw_scale = 0.75", "staging_bw_scale = 2.0"
+        )
+    )
+    assert cli.main(["spec", "lint", str(tmp_path)]) == 4
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "ok" in out
+    assert cli.main(["spec", "lint", str(good)]) == 0
+    capsys.readouterr()
+
+
+def test_spec_list_shows_registry_and_discovered(capsys):
+    import repro.cli as cli
+
+    assert cli.main(["spec", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "registry: dawn, isambard-ai, lumi" in out
+
+
+def test_make_model_accepts_any_resolvable_ident(tmp_path):
+    from repro.systems.catalog import make_model
+
+    path = write_spec(ISAMBARD_AI, tmp_path / "isam.toml")
+    by_name = make_model("isambard-ai")
+    by_path = make_model(str(path))
+    assert isinstance(by_path.spec, SystemSpec)
+    assert by_path.spec == by_name.spec
