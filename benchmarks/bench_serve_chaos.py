@@ -1,0 +1,423 @@
+"""Crash-safety of the serving daemon under seeded service-level chaos.
+
+Runs ``gpu-blob serve`` as a real subprocess and drives it through four
+phases over one persistent cache + journal directory:
+
+1. **reference** — a clean daemon computes every trace key; warm
+   responses are recorded as the byte-level ground truth.
+2. **chaos burst** — a fresh daemon under ``--chaos-plan heavy`` (slow
+   and failing backends, journal stalls) takes the same bursty trace
+   and is ``SIGKILL``-ed mid-burst, stranding accepted jobs in the
+   write-ahead journal.
+3. **replay** — a clean daemon restarted over the crashed state repairs
+   the journal tail, replays every stranded job, and must then answer
+   each trace key byte-identically to phase 1; the journal must show no
+   accepted job dropped (every ``accept`` reaches ``complete``).
+4. **blackout** — ``--chaos-plan blackout`` fails ~every execution;
+   answers must degrade to stale cache hits (never 500) and
+   ``/readyz`` must flip while every breaker is open.
+
+Finally the crashed-and-recovered artifact directory must pass
+``fsck`` with zero findings.  Writes ``results/BENCH_serve_chaos.json``.
+Runnable standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve_chaos.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve_chaos.py --check
+
+``--check`` exits non-zero on any dropped accepted job, divergent
+replayed byte, missing degraded answer, un-bounded chaos p99, any 500
+anywhere, or an fsck finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from harness import RESULTS_DIR, run_once
+from repro.core.fsck import fsck_paths
+from repro.serve.client import ServeClient
+
+SEED = 20260808
+#: successful responses under heavy chaos must still land within this
+P99_BOUND_S = 10.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+def trace_bodies() -> list:
+    """Distinct small configurations: each is one cold sweep."""
+    bodies = []
+    for i, max_dim in enumerate((64, 80, 96, 112)):
+        for system in ("dawn", "lumi"):
+            bodies.append({
+                "system": system,
+                "kernel": "gemm" if i % 2 == 0 else "gemv",
+                "problem": "square",
+                "precision": "single",
+                "iterations": 8,
+                "paradigm": "once",
+                "min_dim": 1,
+                "max_dim": max_dim,
+                "step": 16,
+            })
+    return bodies
+
+
+def blackout_bodies() -> list:
+    """One system only (so its breaker opening flips ``/readyz``) at an
+    iteration count the trace never computed: every request is a miss
+    that must degrade to a stale nearby entry."""
+    return [
+        {"system": "dawn", "kernel": "gemm", "problem": "square",
+         "precision": "single", "iterations": 16, "paradigm": "once",
+         "min_dim": 1, "max_dim": max_dim, "step": 16}
+        for max_dim in (64, 96)
+    ]
+
+
+class Daemon:
+    """One ``gpu-blob serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, cache_dir: Path, *extra: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--cache-dir", str(cache_dir),
+             "--workers", "2", *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.host, self.port = self._await_listening()
+
+    def _await_listening(self):
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"daemon exited early (rc={self.proc.poll()})"
+                )
+            if "listening on http://" in line:
+                addr = line.split("http://", 1)[1].split(" ", 1)[0].strip()
+                host, _, port = addr.rpartition(":")
+                return host, int(port)
+        raise RuntimeError("daemon never announced its port")
+
+    def kill9(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+async def _post_all(daemon: Daemon, bodies, stagger_s: float = 0.0):
+    """Fire one request per body concurrently (optionally staggered);
+    returns (status, body_bytes | None) per request, with transport
+    failures — the daemon died under us — recorded as status 0."""
+
+    async def one(index: int, body: dict):
+        if stagger_s:
+            await asyncio.sleep(stagger_s * index)
+        client = ServeClient(daemon.host, daemon.port)
+        t0 = time.perf_counter()
+        try:
+            response = await client.post("/v1/threshold", body)
+            return response.status, response.body, time.perf_counter() - t0
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            return 0, None, time.perf_counter() - t0
+        finally:
+            await client.close()
+
+    return await asyncio.gather(
+        *(one(i, body) for i, body in enumerate(bodies))
+    )
+
+
+async def _fetch(daemon: Daemon, path: str):
+    client = ServeClient(daemon.host, daemon.port)
+    try:
+        response = await client.get(path)
+        return response.status, response.json()
+    finally:
+        await client.close()
+
+
+async def _await_replay_done(daemon: Daemon, timeout_s: float = 60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, metrics = await _fetch(daemon, "/metrics")
+        wal = metrics["wal"]
+        if wal["jobs"]["pending"] == 0:
+            return metrics
+        await asyncio.sleep(0.1)
+    raise RuntimeError("journal replay did not finish in time")
+
+
+def _phase_reference(workdir: Path, bodies) -> dict:
+    daemon = Daemon(workdir / "reference")
+    try:
+        t0 = time.perf_counter()
+        cold = asyncio.run(_post_all(daemon, bodies))
+        assert all(status == 200 for status, _, _ in cold), (
+            "reference run must succeed"
+        )
+        warm = asyncio.run(_post_all(daemon, bodies))
+        reference = [payload for _, payload, _ in warm]
+        elapsed = time.perf_counter() - t0
+    finally:
+        daemon.terminate()
+    return {"elapsed_s": round(elapsed, 3), "requests": 2 * len(bodies),
+            "payloads": reference}
+
+
+def _phase_chaos_kill(cache: Path, bodies) -> dict:
+    daemon = Daemon(
+        cache, "--chaos-plan", f"heavy:{SEED}", "--request-timeout", "60"
+    )
+
+    async def burst_and_kill():
+        burst = asyncio.ensure_future(
+            _post_all(daemon, bodies, stagger_s=0.02)
+        )
+        # long enough to accept and journal work, short enough that the
+        # heavy plan's slowed sweeps are still in flight
+        await asyncio.sleep(0.35)
+        daemon.kill9()
+        return await burst
+
+    results = asyncio.run(burst_and_kill())
+    latencies = [dt for status, _, dt in results if status == 200]
+    statuses = sorted({status for status, _, _ in results})
+    wal_path = cache / "serve-wal.jsonl"
+    stranded = 0
+    if wal_path.exists():
+        seen, completed = set(), set()
+        for line in wal_path.read_text().splitlines():
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # the torn tail the restart will repair
+            if rec.get("t") == "accept":
+                seen.add(rec["id"])
+            elif rec.get("t") in ("complete", "dead"):
+                completed.add(rec["id"])
+        stranded = len(seen - completed)
+    return {
+        "requests": len(bodies),
+        "completed": sum(1 for s, _, _ in results if s == 200),
+        "interrupted": sum(1 for s, _, _ in results if s == 0),
+        "statuses_seen": statuses,
+        "p99_s": round(_percentile(latencies, 0.99), 3),
+        "stranded_accepts": stranded,
+    }
+
+
+def _phase_replay(cache: Path, bodies, reference) -> dict:
+    daemon = Daemon(cache)
+    try:
+        metrics = asyncio.run(_await_replay_done(daemon))
+        warm = asyncio.run(_post_all(daemon, bodies))
+        identical = sum(
+            1 for (status, payload, _), want in zip(warm, reference)
+            if status == 200 and payload == want
+        )
+    finally:
+        daemon.terminate()
+
+    # after drain, the journal must show no accepted job dropped
+    seen, resolved = set(), set()
+    for line in (cache / "serve-wal.jsonl").read_text().splitlines():
+        rec = json.loads(line)
+        if rec.get("t") == "accept":
+            seen.add(rec["id"])
+        elif rec.get("t") in ("complete", "dead"):
+            resolved.add(rec["id"])
+    return {
+        "jobs_replayed": metrics["jobs"]["replayed"],
+        "jobs_dead": metrics["wal"]["jobs"]["dead"],
+        "pending_after": metrics["wal"]["jobs"]["pending"],
+        "byte_identical": identical,
+        "expected_identical": len(bodies),
+        "dropped_accepts": len(seen - resolved),
+        "journal_corrupt_records": metrics["wal"]["corrupt_records"],
+    }
+
+
+def _phase_blackout(cache: Path, bodies) -> dict:
+    daemon = Daemon(
+        cache, "--chaos-plan", f"blackout:{SEED}", "--breaker-threshold", "1"
+    )
+    try:
+        results = asyncio.run(_post_all(daemon, bodies))
+        degraded = sum(
+            1 for status, payload, _ in results
+            if status == 200 and json.loads(payload).get("degraded")
+        )
+        statuses = sorted({status for status, _, _ in results})
+        ready_status, ready = asyncio.run(_fetch(daemon, "/readyz"))
+        _, metrics = asyncio.run(_fetch(daemon, "/metrics"))
+    finally:
+        daemon.terminate()
+    return {
+        "requests": len(bodies),
+        "degraded_answers": degraded,
+        "statuses_seen": statuses,
+        "server_500s": metrics["statuses"].get("500", 0),
+        "readyz_status": ready_status,
+        "breakers_closed": ready["breakers_closed"],
+        "breakers": metrics["breakers"],
+    }
+
+
+def measure() -> dict:
+    bodies = trace_bodies()
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        cache = workdir / "crashed"
+        reference = _phase_reference(workdir, bodies)
+        payloads = reference.pop("payloads")
+        chaos = _phase_chaos_kill(cache, bodies)
+        replay = _phase_replay(cache, bodies, payloads)
+        blackout = _phase_blackout(cache, blackout_bodies())
+        findings = fsck_paths([cache])
+        fsck = {"findings": len(findings),
+                "details": [str(f) for f in findings]}
+    return {
+        "config": {"seed": SEED, "trace_keys": len(bodies),
+                   "p99_bound_s": P99_BOUND_S},
+        "reference": reference,
+        "chaos": chaos,
+        "replay": replay,
+        "blackout": blackout,
+        "fsck": fsck,
+    }
+
+
+def violations(data: dict) -> list:
+    problems = []
+    if data["replay"]["dropped_accepts"]:
+        problems.append(
+            f"{data['replay']['dropped_accepts']} accepted job(s) dropped"
+        )
+    if data["replay"]["pending_after"]:
+        problems.append(
+            f"{data['replay']['pending_after']} job(s) still pending "
+            "after replay"
+        )
+    if data["replay"]["byte_identical"] != data["replay"]["expected_identical"]:
+        problems.append(
+            f"only {data['replay']['byte_identical']}/"
+            f"{data['replay']['expected_identical']} replayed keys are "
+            "byte-identical to the uninterrupted run"
+        )
+    if not data["blackout"]["degraded_answers"]:
+        problems.append("blackout produced no degraded answers")
+    if data["blackout"]["server_500s"]:
+        problems.append(
+            f"{data['blackout']['server_500s']} response(s) were 500s"
+        )
+    if 500 in data["chaos"]["statuses_seen"]:
+        problems.append("chaos burst surfaced a 500")
+    if data["blackout"]["readyz_status"] != 503:
+        problems.append(
+            "/readyz did not flip while every breaker was open"
+        )
+    if data["chaos"]["p99_s"] > P99_BOUND_S:
+        problems.append(
+            f"chaos p99 {data['chaos']['p99_s']}s exceeds the "
+            f"{P99_BOUND_S}s bound"
+        )
+    if data["fsck"]["findings"]:
+        problems.append(
+            f"fsck found {data['fsck']['findings']} problem(s): "
+            + "; ".join(data["fsck"]["details"])
+        )
+    return problems
+
+
+def report(data: dict) -> str:
+    chaos, replay, blackout = (
+        data["chaos"], data["replay"], data["blackout"]
+    )
+    return "\n".join([
+        f"serve chaos — {data['config']['trace_keys']} trace keys, "
+        f"seed {data['config']['seed']}",
+        f"  chaos burst : {chaos['completed']} ok, "
+        f"{chaos['interrupted']} interrupted by kill -9, "
+        f"p99 {chaos['p99_s']}s, {chaos['stranded_accepts']} stranded",
+        f"  replay      : {replay['jobs_replayed']} job(s) replayed, "
+        f"{replay['byte_identical']}/{replay['expected_identical']} "
+        f"byte-identical, {replay['dropped_accepts']} dropped",
+        f"  blackout    : {blackout['degraded_answers']}/"
+        f"{blackout['requests']} degraded answers, "
+        f"readyz {blackout['readyz_status']}, "
+        f"{blackout['server_500s']} five-hundreds",
+        f"  fsck        : {data['fsck']['findings']} finding(s)",
+    ])
+
+
+def write_json(data: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_serve_chaos.json"
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_serve_chaos(benchmark):
+    data = run_once(benchmark, measure)
+    write_json(data)
+    print("\n" + report(data))
+    assert violations(data) == []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on dropped jobs, divergent replays, missing degraded "
+        "answers, unbounded p99, any 500, or fsck findings",
+    )
+    args = parser.parse_args(argv)
+    data = measure()
+    write_json(data)
+    print(report(data))
+    if args.check:
+        problems = violations(data)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

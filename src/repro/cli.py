@@ -15,6 +15,9 @@ Examples::
     gpu-blob cache prune --max-entries 32
     gpu-blob cache stats --json
     gpu-blob serve --port 8377 --workers 2 --rate 50
+    gpu-blob serve --wal /var/lib/gpu-blob/serve-wal.jsonl --lease 120 \
+        --breaker-threshold 3 --breaker-reset 30
+    gpu-blob serve --chaos-plan heavy:7 --sweep-jobs 2   # fire drill
     gpu-blob campaign campaigns/ci-smoke.toml -o results/campaign/ci-smoke
     gpu-blob campaign campaigns/ci-smoke.toml --checkpoint-dir ck --resume
     gpu-blob spec lint specs

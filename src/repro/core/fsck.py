@@ -3,10 +3,13 @@
 Three artifact families leave a sweep on disk, and all three now carry
 enough redundancy to be audited offline:
 
-* **checkpoint journals** (``*.jsonl``) — every record carries a ``cs``
-  checksum (:func:`repro.faults.checkpoint.record_checksum`), the first
-  line must be a versioned header, and only the *final* line may be
-  torn (the crash artifact the writer itself repairs on resume);
+* **checkpoint journals and serve WALs** (``*.jsonl``) — every record
+  carries a ``cs`` checksum
+  (:func:`repro.faults.checkpoint.record_checksum`), the first line
+  must be a versioned header (a ``kind: "serve-wal"`` header selects
+  the serve journal's own format version), and only the *final* line
+  may be torn (the crash artifact the writer itself repairs on
+  resume/restart);
 * **sweep-cache entries** (``<sha256>.json``) — every entry embeds a
   ``payload_sha256`` over its canonical payload
   (:func:`repro.core.sweepcache.payload_digest`);
@@ -118,15 +121,23 @@ def fsck_journal(path, repair: bool = False) -> List[Finding]:
     header_ok = False
     if good:
         header = json.loads(good[0])
+        # a serve WAL shares the checksummed-JSONL shape but carries its
+        # own kind marker and format version (lazy import: repro.serve
+        # pulls in this module's siblings)
+        from ..serve.wal import WAL_KIND, WAL_VERSION
+
+        expected_version = (
+            WAL_VERSION if header.get("kind") == WAL_KIND else FORMAT_VERSION
+        )
         if header.get("t") != "header":
             findings.append(
                 Finding(path, "journal", "first valid record is not a header")
             )
-        elif header.get("version") != FORMAT_VERSION:
+        elif header.get("version") != expected_version:
             findings.append(Finding(
                 path, "journal",
                 f"format version {header.get('version')!r} "
-                f"(this build reads {FORMAT_VERSION})",
+                f"(this build reads {expected_version})",
             ))
         else:
             header_ok = True

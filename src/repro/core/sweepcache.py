@@ -56,6 +56,7 @@ from .records import PerfSample, ProblemSeries
 __all__ = [
     "SingleFlight",
     "cache_stats",
+    "find_stale_series",
     "load_cached_run",
     "payload_digest",
     "prune_cache",
@@ -359,6 +360,76 @@ def _load_entry(cache_dir, key: str, config: RunConfig, system_name):
     )
     result.stats.cached_samples = count
     return result
+
+
+def find_stale_series(
+    cache_dir,
+    system_name: Optional[str],
+    kernel: Kernel,
+    ident: str,
+    precision: Precision,
+    iterations: int,
+):
+    """Degraded-mode (stale-while-revalidate) lookup for the serving
+    daemon: when the backend behind a threshold query is circuit-broken,
+    the *nearest* stored series beats a 500.
+
+    Scans every intact cache entry for ``system_name`` and returns the
+    series matching (kernel, problem ident, precision) whose iteration
+    count is closest to ``iterations`` — the exact count when present —
+    as ``(series, matched_iterations)``, or ``None`` when nothing
+    matches.  Ties and scan order are deterministic (sorted entry
+    names), and entries failing their payload digest are skipped: even
+    a degraded answer never serves corrupted data.
+    """
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return None
+    best = None  # ((|Δiterations|, iterations, entry name), series record)
+    for path in sorted(cache_dir.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(entry, dict) or entry.get("version") != CACHE_VERSION:
+            continue
+        payload = {
+            k: v for k, v in entry.items()
+            if k not in ("version", "payload_sha256")
+        }
+        if entry.get("payload_sha256") != payload_digest(payload):
+            continue
+        if payload.get("system") != system_name:
+            continue
+        for rec in payload.get("series", ()):
+            try:
+                matches = (
+                    rec["kernel"] == kernel.value
+                    and rec["ident"] == ident
+                    and rec["precision"] == precision.value
+                )
+                rec_iterations = int(rec["iterations"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not matches:
+                continue
+            rank = (abs(rec_iterations - iterations), rec_iterations, path.name)
+            if best is None or rank < best[0]:
+                best = (rank, rec)
+    if best is None:
+        return None
+    rec = best[1]
+    try:
+        series = ProblemSeries(
+            problem_type=get_problem_type(Kernel(rec["kernel"]), rec["ident"]),
+            precision=Precision(rec["precision"]),
+            iterations=rec["iterations"],
+        )
+        for sample_rec in rec["samples"]:
+            series.add(_parse_sample(sample_rec))
+    except (KeyError, TypeError, ValueError):
+        return None
+    return series, int(rec["iterations"])
 
 
 def prune_cache(

@@ -24,6 +24,7 @@ from .checkpoint import (
 )
 from .injector import FaultInjector
 from .plan import NO_FAULTS, FaultKind, FaultPlan
+from .servechaos import ServeChaosKind, ServeChaosPlan
 
 __all__ = [
     "CheckpointReader",
@@ -32,5 +33,7 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "NO_FAULTS",
+    "ServeChaosKind",
+    "ServeChaosPlan",
     "sample_key",
 ]

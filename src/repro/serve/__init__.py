@@ -4,11 +4,17 @@ Stdlib-only HTTP/JSON serving of the paper's offload-threshold
 decision: the content-addressed sweep cache is the hot store, misses
 coalesce (single-flight) into a bounded job queue over the supervised
 executor, per-client token buckets answer 429, deadlines answer 504,
-and ``/metrics`` exports counters and latency percentiles.  See
-:mod:`repro.serve.service` for the endpoint surface and
-``DESIGN.md`` §11 for the architecture.
+and ``/metrics`` exports counters and latency percentiles.  Crash
+safety comes from a durable write-ahead journal of accepted jobs
+(:mod:`repro.serve.wal`, replayed on restart) and per-(system,
+backend) circuit breakers (:mod:`repro.serve.breaker`) that swap 500s
+for stale-while-revalidate degraded answers.  See
+:mod:`repro.serve.service` for the endpoint surface and ``DESIGN.md``
+§11/§13 for the architecture.
 """
 
+from .breaker import BreakerBoard, BreakerState, CircuitBreaker
+from .client import ClientResponse, ClientRetryPolicy, ServeClient, fetch_json
 from .httpd import HttpError, Request, Response, json_response
 from .jobs import JobQueue, QueueFullError
 from .metrics import LatencyHistogram, ServeMetrics
@@ -21,9 +27,15 @@ from .service import (
     main,
     start_server,
 )
+from .wal import WalJob, WalState, WriteAheadLog, load_wal_state
 
 __all__ = [
     "ApiError",
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
+    "ClientResponse",
+    "ClientRetryPolicy",
     "HttpError",
     "JobQueue",
     "LatencyHistogram",
@@ -31,11 +43,17 @@ __all__ = [
     "RateLimiter",
     "Request",
     "Response",
+    "ServeClient",
     "ServeConfig",
     "ServeMetrics",
     "ServerHandle",
     "ThresholdService",
+    "WalJob",
+    "WalState",
+    "WriteAheadLog",
+    "fetch_json",
     "json_response",
+    "load_wal_state",
     "main",
     "start_server",
 ]

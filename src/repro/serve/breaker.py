@@ -1,0 +1,183 @@
+"""Per-(system, backend) circuit breakers for the serving daemon.
+
+A backend that keeps failing must not keep eating queue slots and
+worker time while every caller waits out a full sweep attempt just to
+collect a 500.  Each (system, backend) pair gets one breaker with the
+classic three states:
+
+* **closed** — traffic flows; consecutive failures are counted and
+  ``failure_threshold`` of them in a row trip the breaker open.
+* **open** — executions are refused on sight for ``reset_timeout_s``;
+  the service answers from the sweep cache in degraded mode instead
+  (see :mod:`repro.serve.service`).
+* **half-open** — after the cooldown, exactly one probe execution is
+  admitted at a time: success closes the breaker, failure re-opens it
+  (and restarts the cooldown).
+
+All transitions happen on the event-loop thread — :meth:`allow` is
+called before a job is queued and the success/failure accounting runs
+in the job-queue worker task — so no locking is needed, mirroring
+:class:`repro.serve.metrics.ServeMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Dict, Optional
+
+__all__ = ["BreakerBoard", "BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    """Where one breaker is in its closed → open → half-open cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CircuitBreaker:
+    """One breaker: consecutive-failure trip, timed reset, single probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        #: lifetime counters for /metrics
+        self.opens = 0
+        self.failures = 0
+        self.successes = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state, applying the timed open → half-open
+        transition lazily (no background task needed)."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May one execution proceed right now?
+
+        In half-open state this *claims* the single probe slot, so at
+        most one request at a time tests the backend; the slot is
+        released by :meth:`record_success` / :meth:`record_failure`.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self._state = BreakerState.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._consecutive_failures += 1
+        was_half_open = self._state is BreakerState.HALF_OPEN
+        self._probe_inflight = False
+        if was_half_open or (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state is not BreakerState.OPEN:
+                self.opens += 1
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+            self._consecutive_failures = 0
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        if self.state is not BreakerState.OPEN:
+            return 0.0
+        return max(
+            0.0, self.reset_timeout_s - (self._clock() - self._opened_at)
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "opens": self.opens,
+            "failures": self.failures,
+            "successes": self.successes,
+            "retry_after_s": round(self.retry_after_s(), 3),
+        }
+
+
+class BreakerBoard:
+    """The daemon's breakers, one per (system, backend) key, created on
+    first use with shared thresholds."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._breakers: Dict[tuple, CircuitBreaker] = {}
+
+    def breaker(self, key: tuple) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                reset_timeout_s=self.reset_timeout_s,
+                clock=self._clock,
+            )
+        return breaker
+
+    def all_open(self) -> bool:
+        """Every known breaker is open — the readiness signal: a daemon
+        whose every backend is refusing traffic can only serve stale
+        answers, so orchestrators should route new traffic elsewhere.
+        An empty board (no executions yet) is not 'all open'."""
+        if not self._breakers:
+            return False
+        return all(
+            b.state is BreakerState.OPEN for b in self._breakers.values()
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "/".join(str(part) for part in key): breaker.snapshot()
+            for key, breaker in sorted(
+                self._breakers.items(), key=lambda kv: kv[0]
+            )
+        }

@@ -1,9 +1,15 @@
 """A minimal async HTTP client for the serving daemon.
 
-Tests, the latency benchmark, and the CI smoke job all need to talk to
+Tests, the benchmarks, and the CI smoke jobs all need to talk to
 ``gpu-blob serve`` without adding dependencies; this module is the
 client-side twin of :mod:`repro.serve.httpd` — one connection, HTTP/1.1
 with Content-Length framing, keep-alive reuse, JSON bodies.
+
+Retries mirror the sweep layer's :class:`~repro.core.runner
+.RetryPolicy` semantics: exponential backoff with a deterministic
+BLAKE2b jitter draw, honoring the server's ``Retry-After`` hint on 429
+(quota) and 503 (queue full, breaker open) and failing fast on every
+other 4xx — a config error does not get better by asking again.
 """
 
 from __future__ import annotations
@@ -11,9 +17,76 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
-__all__ = ["ClientResponse", "ServeClient", "fetch_json"]
+from ..faults.plan import _unit
+
+__all__ = ["ClientResponse", "ClientRetryPolicy", "ServeClient", "fetch_json"]
+
+
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """How a client reacts to retryable daemon refusals.
+
+    Unlike the sweep layer's simulated backoff, a client genuinely
+    waits (it is pacing a live server), but the jitter draw is the same
+    deterministic construction, so two runs of one trace pace
+    identically.  A server-provided ``Retry-After`` wins over the
+    computed backoff, clamped to ``retry_after_cap_s``.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    retry_after_cap_s: float = 30.0
+    seed: int = 0
+
+    #: 429 quota overruns and 503 refusals are worth retrying; every
+    #: other 4xx is a config error the caller must fix
+    RETRYABLE_STATUSES: ClassVar[Tuple[int, ...]] = (429, 503)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.retry_after_cap_s <= 0:
+            raise ValueError(
+                f"retry_after_cap_s must be > 0, got {self.retry_after_cap_s}"
+            )
+
+    def should_retry(self, status: int, attempt: int) -> bool:
+        """Is a retry allowed after ``attempt`` (1-based) answered
+        ``status``?"""
+        return status in self.RETRYABLE_STATUSES and attempt <= self.max_retries
+
+    def delay_s(
+        self,
+        attempt: int,
+        key: tuple,
+        retry_after: Optional[float] = None,
+    ) -> float:
+        """Seconds to wait before the next attempt."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), self.retry_after_cap_s)
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter == 0.0:
+            return base
+        unit = _unit((self.seed, "client-retry", attempt) + tuple(key))
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 @dataclass
@@ -31,9 +104,20 @@ class ClientResponse:
 class ServeClient:
     """One keep-alive connection to a running daemon."""
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retry: Optional[ClientRetryPolicy] = None,
+        sleep=None,
+    ) -> None:
         self.host = host
         self.port = port
+        self.retry = retry
+        #: injectable for tests; the default genuinely waits
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        #: every delay the retry policy actually imposed, in order
+        self.retry_delays: List[float] = []
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -59,11 +143,37 @@ class ServeClient:
         payload=None,
         headers: Tuple[Tuple[str, str], ...] = (),
     ) -> ClientResponse:
-        """Send one request, reconnecting once if the kept-alive
-        connection went stale under us."""
+        """Send one request; with a retry policy attached, back off and
+        re-send on 429/503 (honoring ``Retry-After``), fail fast on any
+        other 4xx by returning it untouched."""
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
+        attempt = 1
+        while True:
+            response = await self._send_once(method, path, body, headers)
+            if self.retry is None or not self.retry.should_retry(
+                response.status, attempt
+            ):
+                return response
+            delay = self.retry.delay_s(
+                attempt,
+                (method, path),
+                _parse_retry_after(response.headers.get("retry-after")),
+            )
+            self.retry_delays.append(delay)
+            await self._sleep(delay)
+            attempt += 1
+
+    async def _send_once(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Tuple[Tuple[str, str], ...],
+    ) -> ClientResponse:
+        """One wire exchange, reconnecting once if the kept-alive
+        connection went stale under us."""
         for attempt in (0, 1):
             await self._connect()
             try:

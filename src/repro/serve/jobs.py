@@ -63,6 +63,13 @@ class JobQueue:
         """Jobs currently executing on a worker."""
         return self._inflight
 
+    def in_flight(self, key) -> bool:
+        """Is ``key`` already queued or executing?  A submission for it
+        would coalesce — callers use this to skip side effects that
+        belong to the job's leader (journaling the accept, claiming a
+        breaker probe slot)."""
+        return key in self._flights
+
     def start(self) -> None:
         """Spawn the worker tasks (requires a running event loop)."""
         if self._tasks:

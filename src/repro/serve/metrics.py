@@ -125,6 +125,19 @@ class ServeMetrics:
         self.deadline_expired = 0
         self.queue_rejected = 0
         self.sweeps_executed = 0
+        #: stale cache answers served while a breaker was open or the
+        #: backend failed (never a 500 for a transient backend fault)
+        self.degraded_answers = 0
+        #: breaker refusals that had no stale answer to fall back on
+        self.degraded_unavailable = 0
+        #: accepted jobs re-run from the WAL after a restart
+        self.jobs_replayed = 0
+        #: jobs abandoned after exhausting replay attempts
+        self.jobs_dead = 0
+        #: simulated backoff accumulated while replaying expired leases
+        self.replay_backoff_s = 0.0
+        #: WAL appends that failed (disk full / chaos wal-stall)
+        self.wal_errors = 0
 
     def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
         self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
@@ -167,5 +180,13 @@ class ServeMetrics:
                 "rate_limited": self.rate_limited,
                 "deadline_expired": self.deadline_expired,
                 "queue_rejected": self.queue_rejected,
+                "replayed": self.jobs_replayed,
+                "dead": self.jobs_dead,
+                "replay_backoff_s": round(self.replay_backoff_s, 6),
             },
+            "degraded": {
+                "answers": self.degraded_answers,
+                "unavailable": self.degraded_unavailable,
+            },
+            "wal_errors": self.wal_errors,
         }

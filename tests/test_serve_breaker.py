@@ -1,0 +1,247 @@
+"""Circuit breakers and degraded-mode answers.
+
+Unit layer: the closed → open → half-open machine under a fake clock.
+Service layer: a backend forced to fail must never surface a 500 — the
+daemon answers from the sweep cache in stale-while-revalidate mode
+(``degraded: true``, ``Warning`` header) or with a retryable 503, and
+``/readyz`` flips while every breaker is open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import AnalyticBackend, RunConfig, make_model, run_sweep
+from repro.errors import TransientKernelError
+from repro.serve.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.serve.client import ServeClient
+from repro.serve.service import ServeConfig, start_server
+from repro.types import Kernel, Precision
+
+BODY = {
+    "system": "dawn",
+    "kernel": "gemm",
+    "problem": "square",
+    "precision": "single",
+    "iterations": 8,
+    "paradigm": "once",
+    "min_dim": 1,
+    "max_dim": 64,
+    "step": 16,
+}
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_breaker_trips_after_consecutive_failures():
+    clock = FakeClock()
+    b = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0, clock=clock)
+    assert b.state is BreakerState.CLOSED and b.allow()
+    b.record_failure()
+    b.record_failure()
+    b.record_success()  # success resets the consecutive count
+    b.record_failure()
+    b.record_failure()
+    assert b.state is BreakerState.CLOSED
+    b.record_failure()
+    assert b.state is BreakerState.OPEN
+    assert not b.allow()
+    assert b.opens == 1
+    assert 0 < b.retry_after_s() <= 10.0
+
+
+def test_half_open_admits_one_probe():
+    clock = FakeClock()
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+    b.record_failure()
+    assert b.state is BreakerState.OPEN
+    clock.now = 10.0
+    assert b.state is BreakerState.HALF_OPEN
+    assert b.allow() is True  # the probe slot
+    assert b.allow() is False  # ... is exclusive
+    b.record_success()
+    assert b.state is BreakerState.CLOSED and b.allow()
+
+
+def test_failed_probe_reopens_with_fresh_cooldown():
+    clock = FakeClock()
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+    b.record_failure()
+    clock.now = 10.0
+    assert b.allow() is True
+    b.record_failure()
+    assert b.state is BreakerState.OPEN
+    assert b.retry_after_s() == pytest.approx(10.0)
+    assert b.opens == 2
+
+
+def test_board_all_open_semantics():
+    clock = FakeClock()
+    board = BreakerBoard(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+    assert board.all_open() is False  # empty board is not "all open"
+    a = board.breaker(("dawn", "analytic"))
+    b = board.breaker(("lumi", "analytic"))
+    assert board.breaker(("dawn", "analytic")) is a
+    a.record_failure()
+    assert board.all_open() is False
+    b.record_failure()
+    assert board.all_open() is True
+    snap = board.snapshot()
+    assert snap["dawn/analytic"]["state"] == "open"
+    assert snap["lumi/analytic"]["opens"] == 1
+
+
+class FailingSweep:
+    """A backend that always faults transiently."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __call__(self, backend, config, system_name=None, cache_dir=None):
+        self.calls += 1
+        raise TransientKernelError("injected: kernel launch failed")
+
+
+def warm_stale_entry(cache_dir, iterations=4):
+    """Seed the cache with a *nearby* sweep (different iteration count)
+    so degraded mode has something stale to answer from."""
+    config = RunConfig(
+        max_dim=64, step=16, iterations=iterations,
+        kernels=(Kernel.GEMM,), precisions=(Precision.SINGLE,),
+    )
+    backend = AnalyticBackend(make_model("dawn"))
+    run_sweep(backend, config, "dawn", cache_dir=cache_dir)
+
+
+def test_forced_backend_failure_degrades_instead_of_500(tmp_path):
+    sweep = FailingSweep()
+    cache = tmp_path / "cache"
+    warm_stale_entry(cache, iterations=4)
+
+    async def check():
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(cache),
+            breaker_threshold=2,
+            breaker_reset_s=60.0,
+        )
+        handle = await start_server(config, sweep_fn=sweep)
+        client = ServeClient(handle.host, handle.port)
+        try:
+            # executed-and-failed jobs: stale answer, never a 500
+            for _ in range(2):
+                r = await client.post("/v1/threshold", BODY)
+                assert r.status == 200
+                payload = r.json()
+                assert payload["degraded"] is True
+                assert payload["cache"]["stale_iterations"] == 4
+                assert "stale threshold" in r.headers["warning"]
+            # breaker now open: answered without touching the backend
+            r = await client.post("/v1/threshold", BODY)
+            assert r.status == 200 and r.json()["degraded"] is True
+            assert sweep.calls == 2
+
+            ready = await client.get("/readyz")
+            assert ready.status == 503
+            assert ready.json()["breakers_closed"] is False
+            health = await client.get("/healthz")
+            assert health.status == 200  # alive, just not ready
+
+            metrics = (await client.get("/metrics")).json()
+            board = metrics["breakers"]["dawn/analytic"]
+            assert board["state"] == "open"
+            assert board["failures"] == 2
+            assert metrics["degraded"]["answers"] == 3
+            assert metrics["statuses"].get("500") is None
+        finally:
+            await client.close()
+            await handle.drain(5.0)
+
+    asyncio.run(check())
+
+
+def test_degraded_without_stale_data_is_a_retryable_503(tmp_path):
+    sweep = FailingSweep()
+
+    async def check():
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),  # empty: nothing stale
+            breaker_threshold=1,
+            breaker_reset_s=60.0,
+        )
+        handle = await start_server(config, sweep_fn=sweep)
+        client = ServeClient(handle.host, handle.port)
+        try:
+            r = await client.post("/v1/threshold", BODY)
+            assert r.status == 503
+            error = r.json()["error"]
+            assert error["family"] == "fault" and error["exit_code"] == 3
+            assert "retry-after" in r.headers
+            metrics = (await client.get("/metrics")).json()
+            assert metrics["degraded"]["unavailable"] == 1
+            assert metrics["statuses"].get("500") is None
+        finally:
+            await client.close()
+            await handle.drain(5.0)
+
+    asyncio.run(check())
+
+
+def test_half_open_probe_recovers_the_service(tmp_path):
+    """After the cooldown, one probe runs; when the backend has healed,
+    the breaker closes and fresh answers flow again."""
+
+    class FlakySweep:
+        def __init__(self) -> None:
+            self.calls = 0
+            self.healed = False
+            config = RunConfig(
+                max_dim=64, step=16, iterations=8,
+                kernels=(Kernel.GEMM,), precisions=(Precision.SINGLE,),
+            )
+            self._result = run_sweep(
+                AnalyticBackend(make_model("dawn")), config, "dawn"
+            )
+
+        def __call__(self, backend, config, system_name=None, cache_dir=None):
+            self.calls += 1
+            if not self.healed:
+                raise TransientKernelError("still failing")
+            return self._result
+
+    sweep = FlakySweep()
+
+    async def check():
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            breaker_threshold=1,
+            breaker_reset_s=0.05,
+        )
+        handle = await start_server(config, sweep_fn=sweep)
+        client = ServeClient(handle.host, handle.port)
+        try:
+            r = await client.post("/v1/threshold", BODY)
+            assert r.status == 503  # failed, nothing stale yet
+            sweep.healed = True
+            await asyncio.sleep(0.06)  # cooldown elapses -> half-open
+            r = await client.post("/v1/threshold", BODY)
+            assert r.status == 200 and r.json()["degraded"] is False
+            metrics = (await client.get("/metrics")).json()
+            assert metrics["breakers"]["dawn/analytic"]["state"] == "closed"
+            ready = await client.get("/readyz")
+            assert ready.status == 200
+        finally:
+            await client.close()
+            await handle.drain(5.0)
+
+    asyncio.run(check())
