@@ -201,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the sweep cache: neither read nor write it",
     )
+    execution.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive sweep: coarse grid + bisection refinement around "
+        "each threshold crossing instead of a dense scan; thresholds "
+        "are identical to the dense sweep from a fraction of the "
+        "samples (CSV output holds only the sampled sizes; not "
+        "combinable with --faults/--checkpoint)",
+    )
     parser.add_argument(
         "-o", "--output", metavar="DIR", default=None,
         help="write per-series CSVs into DIR",
@@ -286,6 +294,10 @@ def build_cache_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the stats as one JSON object instead of text",
     )
+    stats.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="also list the N hottest entries by hit count",
+    )
     return parser
 
 
@@ -356,6 +368,13 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "miscalibrated specs and implausible samples (exit 4)",
     )
     parser.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive sweeps (coarse grid + bisection): the report is "
+        "byte-identical to a dense campaign from a fraction of the "
+        "cells (overrides the campaign's [execution] adaptive; not "
+        "combinable with --checkpoint-dir)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-scenario progress and the report summary",
     )
@@ -391,6 +410,7 @@ def _main_campaign(argv: List[str]) -> int:
             cache_dir=None if args.no_cache else args.cache_dir,
             strict=args.strict,
             stop_after=args.stop_after,
+            adaptive=True if args.adaptive else None,
             log=log,
         )
         if not result.complete:
@@ -536,14 +556,20 @@ def _main_cache(argv: List[str]) -> int:
 def _main_cache_stats(args) -> int:
     import json as _json
 
-    from .core.sweepcache import cache_stats
+    from .core.sweepcache import cache_stats, top_entries
 
     try:
         stats = cache_stats(args.cache_dir)
+        top = (
+            top_entries(args.cache_dir, args.top)
+            if args.top is not None else None
+        )
     except ReproError as exc:
         print(f"gpu-blob: error: {exc}", file=sys.stderr)
         return _exit_code(exc)
     if args.json:
+        if top is not None:
+            stats = dict(stats, top_entries=top)
         print(_json.dumps(stats, sort_keys=True))
         return 0
     print(f"cache:      {args.cache_dir}")
@@ -553,6 +579,11 @@ def _main_cache_stats(args) -> int:
     print(f"misses:     {stats['misses']}")
     print(f"stores:     {stats['stores']}")
     print(f"hit rate:   {stats['hit_rate']:.3f}")
+    if top is not None:
+        print(f"top {len(top)} entr{'y' if len(top) == 1 else 'ies'} by hits:")
+        for entry in top:
+            gone = "" if entry["present"] else "  (evicted)"
+            print(f"  {entry['hits']:>6}  {entry['key']}{gone}")
     return 0
 
 
@@ -590,6 +621,7 @@ def _main_sweep(argv: List[str]) -> int:
             ) or tuple(TransferType),
             gpu_enabled=not args.cpu_only,
             validate=args.strict,
+            adaptive=args.adaptive,
         )
         if args.backend == "host":
             backend = make_backend("host")
@@ -658,6 +690,13 @@ def _print_resilience_report(result) -> None:
         print(
             f"degraded {stats.inprocess_shards} shard(s) to in-process "
             "execution after repeated pool failures"
+        )
+    if stats.adaptive_cells_dense:
+        saved = stats.adaptive_cells_dense - stats.adaptive_cells_sampled
+        print(
+            f"adaptive sweep sampled {stats.adaptive_cells_sampled} of "
+            f"{stats.adaptive_cells_dense} grid cell(s) "
+            f"({saved} skipped by bisection)"
         )
     if result.degraded:
         print("sweep degraded to the analytic fallback backend")

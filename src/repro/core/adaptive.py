@@ -1,0 +1,196 @@
+"""Adaptive sweeps: coarse grid + bisection refinement around crossings.
+
+A dense sweep times every size in the grid to find a threshold that
+depends only on *where the GPU starts winning* — O(d) samples for an
+answer a bisection can localize in O(log d).  This module samples a
+coarse grid (stride ``~sqrt(d)``, endpoints always included), then
+refines: any adjacent sampled pair whose win/lose verdicts differ is
+bisected until the flip is localized to neighboring indices, and a
+guard band of :data:`GUARD` cells around every localized flip is
+sampled so short counter-streaks next to a crossing (the flips the
+paper's ``min_consecutive`` smoothing exists for) cannot hide between
+samples.  The loop runs to a fixpoint — guard-band samples that expose
+new flips are themselves bisected — so oscillating regions densify
+automatically while smooth regions stay at the coarse stride.
+
+Exactness rests on one documented invariant (DESIGN §14): win flips
+are confined to the contiguous windows the refinement discovers — the
+calibrated machine models produce smooth time-difference curves whose
+every sign change is visible at the coarse stride.  Under it, every
+unsampled index sits strictly between two sampled neighbors with equal
+verdicts and inherits their value, giving the exact dense win sequence;
+thresholds computed from it (``threshold_for_series`` short-circuits on
+:attr:`ProblemSeries.adaptive_wins`) are identical to the dense scan
+for every ``min_consecutive``.  The tier-1 suite proves the identity on
+every calibrated system under both backends, and a hypothesis property
+test re-proves it across random configs.
+
+Adaptive mode is an *optimization of clean sweeps only*: it refuses to
+compose with fault injection or checkpoint journaling (``run_sweep``
+raises ``ConfigError``), so quarantine gaps cannot occur inside an
+adaptive series; any unexpected trouble while sampling simply abandons
+the attempt and the runner falls back to the dense reference path.
+"""
+
+from __future__ import annotations
+
+from math import isqrt
+from typing import Dict, List, Tuple
+
+from ..types import DeviceKind, Precision, TransferType
+from .config import RunConfig
+from .records import ProblemSeries
+
+__all__ = ["GUARD", "adaptive_fill_series"]
+
+#: Cells sampled on each side of a localized win flip.  Matches the
+#: paper's ``min_consecutive`` smoothing window (2): a counter-streak
+#: short enough to hide inside an unsampled gap next to a crossing is
+#: exactly the kind that moves a smoothed threshold.
+GUARD = 2
+
+#: Below this many grid points a dense scan is already minimal.
+_MIN_GRID = 3
+
+
+def adaptive_fill_series(
+    state,
+    series: ProblemSeries,
+    problem_type,
+    precision: Precision,
+    config: RunConfig,
+    transfers: Tuple[TransferType, ...],
+) -> bool:
+    """Fill ``series`` adaptively; return False to fall back to dense.
+
+    All columns (CPU + every transfer) are sampled at the *union* of
+    refined indices, keeping them aligned.  On success the series holds
+    the sampled subset in ascending order, carries the inferred
+    full-grid win sequences on ``adaptive_wins``/``adaptive_dims``, and
+    the sampled/dense cell counts land on the run's stats.
+    """
+    params = config.sweep_params(problem_type)
+    d = len(params)
+    if d < _MIN_GRID:
+        return False
+    dims_all = [problem_type.dims_at(p) for p in params]
+    columns: List[Tuple[DeviceKind, TransferType]] = [(DeviceKind.CPU, None)]
+    columns.extend((DeviceKind.GPU, t) for t in transfers)
+
+    backend = state.backend
+    batched = state.can_batch()
+    kernel = problem_type.kernel
+    by_column: Dict[tuple, Dict[int, object]] = {
+        (device, transfer): {} for device, transfer in columns
+    }
+
+    def evaluate(indices: List[int]) -> None:
+        """Sample every column at ``indices`` (ascending, all fresh)."""
+        dims_sub = [dims_all[i] for i in indices]
+        fresh_columns = []
+        for device, transfer in columns:
+            if batched:
+                if device is DeviceKind.CPU:
+                    fresh = backend.cpu_sample_batch(
+                        kernel, dims_sub, precision, config.iterations,
+                        config.alpha, config.beta,
+                    )
+                else:
+                    fresh = backend.gpu_sample_batch(
+                        kernel, dims_sub, precision, config.iterations,
+                        transfer, config.alpha, config.beta,
+                    )
+                if fresh is None or len(fresh) != len(dims_sub):
+                    raise RuntimeError("batch sampler returned a short column")
+            elif device is DeviceKind.CPU:
+                fresh = [
+                    backend.cpu_sample(
+                        kernel, dims, precision, config.iterations,
+                        config.alpha, config.beta,
+                    )
+                    for dims in dims_sub
+                ]
+            else:
+                fresh = [
+                    backend.gpu_sample(
+                        kernel, dims, precision, config.iterations,
+                        transfer, config.alpha, config.beta,
+                    )
+                    for dims in dims_sub
+                ]
+            fresh_columns.append((device, transfer, fresh))
+        # Invariant-check every column before recording anything, same
+        # all-or-nothing discipline as the vectorized fast path.
+        for _device, _transfer, fresh in fresh_columns:
+            state.guard(fresh, precision)
+        for device, transfer, fresh in fresh_columns:
+            col = by_column[(device, transfer)]
+            for i, sample in zip(indices, fresh):
+                col[i] = sample
+
+    try:
+        stride = max(2, isqrt(d))
+        sampled = set(range(0, d, stride))
+        sampled.add(d - 1)
+        evaluate(sorted(sampled))
+        cpu_col = by_column[(DeviceKind.CPU, None)]
+        while True:
+            ordered = sorted(sampled)
+            need = set()
+            for device, transfer in columns[1:]:
+                gpu_col = by_column[(device, transfer)]
+                wins = {
+                    i: gpu_col[i].seconds < cpu_col[i].seconds
+                    for i in ordered
+                }
+                for a, b in zip(ordered, ordered[1:]):
+                    if wins[a] == wins[b]:
+                        continue
+                    if b - a > 1:
+                        need.add((a + b) // 2)
+                    else:
+                        lo = max(0, a - (GUARD - 1))
+                        hi = min(d, b + GUARD)
+                        need.update(range(lo, hi))
+            need -= sampled
+            if not need:
+                break
+            evaluate(sorted(need))
+            sampled |= need
+    except Exception:
+        # Nothing touched the series yet — dense path takes over.
+        return False
+
+    ordered = sorted(sampled)
+    for device, transfer in columns:
+        col = by_column[(device, transfer)]
+        samples = [col[i] for i in ordered]
+        if device is DeviceKind.CPU:
+            series.cpu.extend(samples)
+        else:
+            series.gpu.setdefault(transfer, []).extend(samples)
+
+    wins_by_transfer: Dict[TransferType, List[bool]] = {}
+    for device, transfer in columns[1:]:
+        gpu_col = by_column[(device, transfer)]
+        wins: List[bool] = [False] * d
+        for i in ordered:
+            wins[i] = gpu_col[i].seconds < cpu_col[i].seconds
+        # After the fixpoint every gap's endpoints agree; the gap
+        # inherits their shared verdict.
+        for a, b in zip(ordered, ordered[1:]):
+            if b - a > 1:
+                for j in range(a + 1, b):
+                    wins[j] = wins[a]
+        wins_by_transfer[transfer] = wins
+    series.adaptive_wins = wins_by_transfer
+    series.adaptive_dims = dims_all
+
+    stats = state.result.stats
+    ncols = len(columns)
+    sampled_cells = len(ordered) * ncols
+    stats.adaptive_cells_sampled += sampled_cells
+    stats.adaptive_cells_dense += d * ncols
+    if state.result.degraded:
+        stats.fallback_samples += sampled_cells
+    return True

@@ -30,6 +30,7 @@ Campaign file schema::
     [execution]
     backend = "analytic"              # default analytic
     jobs = 2                          # default 1 (in-process)
+    adaptive = true                   # default false (dense sweeps)
 
     [drift]
     golden = "../results/campaign/ci-smoke/campaign_report.csv"
@@ -114,6 +115,11 @@ class CampaignSpec:
     step: int = 8
     backend: str = "analytic"
     jobs: int = 1
+    #: adaptive sweeps (coarse grid + bisection): dense-identical
+    #: thresholds from a fraction of the cells, so the report — and the
+    #: campaign fingerprint — are unchanged.  Incompatible with
+    #: checkpoint journaling.
+    adaptive: bool = False
     golden: Optional[str] = None
     #: directory the campaign file lives in; relative paths resolve here
     base_dir: str = "."
@@ -322,6 +328,9 @@ def loads_campaign(text: str, format: str = "toml",
     backend = execution.get("backend", "analytic")
     if not isinstance(backend, str):
         raise ConfigError(f"{source}: execution.backend must be a string")
+    adaptive = execution.get("adaptive", False)
+    if not isinstance(adaptive, bool):
+        raise ConfigError(f"{source}: execution.adaptive must be a boolean")
     return CampaignSpec(
         name=name,
         systems=systems,
@@ -338,6 +347,7 @@ def loads_campaign(text: str, format: str = "toml",
         step=_int_value(sweep, "step", 8, source),
         backend=backend,
         jobs=_int_value(execution, "jobs", 1, source),
+        adaptive=adaptive,
         golden=golden,
         base_dir=base_dir,
     )
@@ -360,7 +370,8 @@ def load_campaign(path) -> CampaignSpec:
 
 
 def expand_scenarios(campaign: CampaignSpec,
-                     strict: bool = False) -> List[Scenario]:
+                     strict: bool = False,
+                     adaptive: bool = False) -> List[Scenario]:
     """Expand the campaign matrix into scenarios, one resilient sweep
     per (system, iterations) pair.  Problem types, precisions and
     paradigms expand *inside* each scenario's :class:`RunConfig`, whose
@@ -383,6 +394,7 @@ def expand_scenarios(campaign: CampaignSpec,
                 precisions=campaign.precisions,
                 transfers=campaign.transfers,
                 validate=strict,
+                adaptive=adaptive,
             )
             scenarios.append(
                 Scenario(
@@ -408,11 +420,15 @@ def run_campaign(
     cache_dir=None,
     strict: bool = False,
     stop_after: Optional[int] = None,
+    adaptive: Optional[bool] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> CampaignResult:
     """Run every scenario of a campaign and collect the results.
 
-    ``jobs``/``backend`` override the campaign's execution table.  With
+    ``jobs``/``backend``/``adaptive`` override the campaign's execution
+    table.  Adaptive campaigns produce the same report bytes as dense
+    ones from a fraction of the sweep cells (sampled counts are logged),
+    but cannot journal checkpoints.  With
     ``checkpoint_dir`` each scenario journals to its own JSONL file
     (``ck-<slug>.jsonl``); ``resume=True`` replays completed samples, so
     an interrupted campaign finishes byte-identical to an uninterrupted
@@ -429,7 +445,13 @@ def run_campaign(
         raise ConfigError(f"stop_after must be >= 1, got {stop_after}")
     jobs = campaign.jobs if jobs is None else jobs
     backend_name = campaign.backend if backend is None else backend
-    scenarios = expand_scenarios(campaign, strict=strict)
+    adaptive = campaign.adaptive if adaptive is None else adaptive
+    if adaptive and checkpoint_dir is not None:
+        raise ConfigError(
+            "adaptive campaigns cannot journal checkpoints; drop "
+            "--checkpoint-dir or run dense"
+        )
+    scenarios = expand_scenarios(campaign, strict=strict, adaptive=adaptive)
     out = CampaignResult(campaign=campaign, scenarios=scenarios)
     out.results = [None] * len(scenarios)
     ck_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -469,6 +491,18 @@ def run_campaign(
             cache_dir=cache_dir,
         )
         out.executed += 1
+    if adaptive and log is not None:
+        sampled = sum(
+            r.stats.adaptive_cells_sampled for r in out.results if r is not None
+        )
+        dense = sum(
+            r.stats.adaptive_cells_dense for r in out.results if r is not None
+        )
+        if dense:
+            log(
+                f"adaptive campaign sampled {sampled} of {dense} grid "
+                f"cell(s) ({sampled / dense:.1%})"
+            )
     return out
 
 

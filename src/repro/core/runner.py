@@ -15,13 +15,21 @@ Three execution strategies exist, all producing bit-identical results:
   (the analytic backend does), every (device, transfer) column of a
   series is evaluated in one NumPy shot;
 * a **parallel executor**: ``run_sweep(..., jobs=N)`` shards the
-  (problem type, precision) series across a ``concurrent.futures``
-  process pool and merges the results in deterministic series order.
+  (problem type, precision) series across a persistent *warm* process
+  pool (:mod:`repro.core.workerpool` — spawned once, reused across
+  sweeps) and merges the results in deterministic series order.  Each
+  worker runs the vectorized fast path over its whole shard and returns
+  samples through a shared-memory segment instead of pickled lists.
   Each worker journals to its own checkpoint shard, merged into the
   single JSONL journal when the pool drains.  The runner falls back to
   in-process execution when ``jobs=1``, when faults are enabled, or
   when the backend/config cannot be pickled (the DES engine stays
   serial *within* a series, but series still parallelize).
+
+A fourth, orthogonal mode — ``RunConfig.adaptive`` — replaces the dense
+grid walk with a coarse-grid + bisection sweep
+(:mod:`repro.core.adaptive`) that produces dense-identical thresholds
+from a fraction of the cells.
 
 With ``cache_dir=`` the runner keys a content-addressed result store on
 the checkpoint config fingerprint plus the backend's ``cache_token``;
@@ -71,7 +79,7 @@ from ..faults.checkpoint import (
 )
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
-from ..types import DeviceKind, Kernel, Precision, TransferType
+from ..types import DeviceKind, Dims, Kernel, Precision, TransferType
 from .config import RunConfig
 from .invariants import (
     InvariantContext,
@@ -158,6 +166,10 @@ class SweepStats:
     worker_retries: int = 0
     #: parallel shards that exhausted pool retries and ran in-process
     inprocess_shards: int = 0
+    #: adaptive mode: cells actually sampled vs. the dense grid they
+    #: answered for (both zero on dense sweeps and cache replays)
+    adaptive_cells_sampled: int = 0
+    adaptive_cells_dense: int = 0
 
 
 @dataclass
@@ -481,6 +493,18 @@ def run_sweep(
         raise ConfigError(
             f"shard_timeout_s must be > 0, got {shard_timeout_s}"
         )
+    if config.adaptive and (
+        faults is not None
+        or isinstance(backend, FaultInjector)
+        or checkpoint is not None
+        or resume
+    ):
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            "adaptive sweeps cannot compose with fault injection or "
+            "checkpoint journaling; run those sweeps dense"
+        )
     if fallback is None:
         fallback = _derive_fallback(backend)
 
@@ -580,7 +604,10 @@ def run_sweep(
     finally:
         if writer is not None:
             writer.close()
-    if cacheable and result.complete and not result.degraded:
+    # Adaptive runs may *load* a dense entry (dense replay wins — the
+    # full grid for free) but never store: a dense run replaying a
+    # sparse adaptive series would be wrong.
+    if cacheable and result.complete and not result.degraded and not config.adaptive:
         from .sweepcache import store_run
 
         store_run(cache_dir, backend, result)
@@ -602,6 +629,21 @@ def _run_series(
         precision=precision,
         iterations=config.iterations,
     )
+    if (
+        config.adaptive
+        and transfers
+        and config.cpu_enabled
+        and not done
+        and not quarantined_keys
+        and not state.gpu_lost
+        and state.writer is None
+    ):
+        from .adaptive import adaptive_fill_series
+
+        if adaptive_fill_series(
+            state, series, problem_type, precision, config, transfers
+        ):
+            return series
     missing: Optional[int] = None
     if state.can_batch():
         missing = _run_series_batched(
@@ -795,15 +837,231 @@ def _picklable(obj) -> bool:
         return False
 
 
+def _encode_done(done_sub: Dict[tuple, PerfSample]) -> list:
+    """Flatten a shard's resume samples to primitive rows for the pool
+    pipe: the sample key already carries every identity field, so only
+    the measured values ride along (floats pickle exactly)."""
+    return [
+        (key, s.seconds, s.gflops, s.checksum_ok)
+        for key, s in done_sub.items()
+    ]
+
+
+def _decode_done(rows: list) -> Dict[tuple, PerfSample]:
+    out: Dict[tuple, PerfSample] = {}
+    for key, seconds, gflops, checksum_ok in rows:
+        _kernel, _ident, _precision, device_v, transfer_v, m, n, k, its = key
+        out[key] = PerfSample(
+            device=DeviceKind(device_v),
+            transfer=TransferType(transfer_v) if transfer_v else None,
+            dims=Dims(m, n, k),
+            iterations=its,
+            seconds=seconds,
+            gflops=gflops,
+            checksum_ok=checksum_ok,
+        )
+    return out
+
+
+#: checksum_ok tristate encoding in the shared-memory check column
+_CHECK_CODE = {None: -1, False: 0, True: 1}
+_CHECK_DECODE = {-1: None, 0: False, 1: True}
+
+
+def _pack_shard_result(series: ProblemSeries, result: RunResult) -> tuple:
+    """Worker-side result encoding: one shared-memory segment per shard.
+
+    Layout (DESIGN §14): int64 dims ``(nd, 3)`` | float64 values
+    ``(n, 2)`` (seconds, gflops — raw bit patterns, so the parent's
+    reconstruction is bitwise identical) | int8 checksum codes ``(n,)``,
+    where ``n`` counts every sample in series order (CPU column, then
+    each transfer column).  In the common full-shard case every column
+    samples the same dims sequence, so the dims table is deduplicated
+    to one column's worth (``nd = n / len(columns)``) and the parent
+    reuses one ``Dims`` object per row across all columns; otherwise
+    ``nd == n`` and dims ship per sample.  The segment is unregistered
+    from the worker's resource tracker — ownership transfers to the
+    parent, which copies and unlinks it.  Any trouble (no shm support,
+    empty series, mixed iteration counts) falls back to returning the
+    pickled series.
+    """
+    try:
+        import numpy as np
+        from multiprocessing import resource_tracker, shared_memory
+
+        cols = [series.cpu] + list(series.gpu.values())
+        samples = series.all_samples()
+        n = len(samples)
+        if n == 0:
+            raise ValueError("empty series")
+        for s in samples:
+            if s.iterations != series.iterations:
+                raise ValueError("mixed iteration counts")
+        columns = [("cpu", None, len(series.cpu))]
+        columns.extend(
+            ("gpu", transfer.value, len(col))
+            for transfer, col in series.gpu.items()
+        )
+        first = cols[0]
+        shared_dims = all(len(col) == len(first) for col in cols) and all(
+            a.dims is b.dims or a.dims == b.dims
+            for col in cols[1:]
+            for a, b in zip(first, col)
+        )
+        dim_samples = first if shared_dims else samples
+        nd = len(dim_samples)
+        nbytes = nd * 24 + n * 16 + n
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            dims_arr = np.ndarray((nd, 3), dtype=np.int64, buffer=shm.buf)
+            vals_arr = np.ndarray(
+                (n, 2), dtype=np.float64, buffer=shm.buf, offset=nd * 24
+            )
+            checks_arr = np.ndarray(
+                (n,), dtype=np.int8, buffer=shm.buf,
+                offset=nd * 24 + n * 16,
+            )
+            # bulk assignments: per-row scalar stores cost more than the
+            # shard's kernel math on large sweeps
+            dims_arr[:] = [
+                (s.dims.m, s.dims.n, s.dims.k) for s in dim_samples
+            ]
+            vals_arr[:] = [(s.seconds, s.gflops) for s in samples]
+            checks_arr[:] = [_CHECK_CODE[s.checksum_ok] for s in samples]
+            name = shm.name
+        finally:
+            del dims_arr, vals_arr, checks_arr
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+            shm.close()
+        return (
+            "shm", name, n, nd, nbytes, columns, series.partial,
+            series.adaptive_wins, result.quarantine, result.degraded,
+            result.device_lost, result.stats,
+        )
+    except Exception:
+        return (
+            "pickle-worker", series, result.quarantine, result.degraded,
+            result.device_lost, result.stats,
+        )
+
+
+def _decode_shard_result(outcome: tuple, shard, config: RunConfig):
+    """Parent-side inverse of :func:`_pack_shard_result`."""
+    from . import workerpool
+
+    if outcome[0] in ("pickle", "pickle-worker"):
+        # bare "pickle" is the parent's own in-process last resort — not
+        # a pool transport, so it never counts as a fallback
+        if outcome[0] == "pickle-worker":
+            workerpool.record_shard(pickled=True)
+        return outcome[1:]
+    (
+        _tag, name, n, nd, nbytes, columns, partial, adaptive_wins,
+        quarantine, degraded, device_lost, stats,
+    ) = outcome
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    problem_type, precision = shard
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        # tolist() detaches into pure-Python objects, so no copy is
+        # needed before closing the segment; column-wise flat lists
+        # keep the reconstruction loop free of nested tuple unpacking
+        dims_arr = np.ndarray((nd, 3), dtype=np.int64, buffer=shm.buf)
+        vals_arr = np.ndarray(
+            (n, 2), dtype=np.float64, buffer=shm.buf, offset=nd * 24
+        )
+        checks_arr = np.ndarray(
+            (n,), dtype=np.int8, buffer=shm.buf, offset=nd * 24 + n * 16
+        )
+        col_m = dims_arr[:, 0].tolist()
+        col_n = dims_arr[:, 1].tolist()
+        col_k = dims_arr[:, 2].tolist()
+        col_s = vals_arr[:, 0].tolist()
+        col_g = vals_arr[:, 1].tolist()
+        check_codes = checks_arr.tolist()
+    finally:
+        del dims_arr, vals_arr, checks_arr
+        shm.close()
+        shm.unlink()
+    series = ProblemSeries(
+        problem_type=problem_type,
+        precision=precision,
+        iterations=config.iterations,
+        partial=partial,
+    )
+    iterations = config.iterations
+    decode = _CHECK_DECODE
+    # deduplicated dims table (see _pack_shard_result): build each Dims
+    # once and share the objects across columns, exactly as the batch
+    # fast path does worker-side
+    shared = nd < n
+    dims_objs = (
+        [Dims(m, n_, k) for m, n_, k in zip(col_m, col_n, col_k)]
+        if shared else None
+    )
+    row = 0
+    for device_v, transfer_v, count in columns:
+        device = DeviceKind(device_v)
+        transfer = TransferType(transfer_v) if transfer_v else None
+        end = row + count
+        # positional construction in one comprehension: this loop
+        # rebuilds every sample of every shard, so it is the parent's
+        # hottest path under jobs=N
+        if shared:
+            column = [
+                PerfSample(
+                    device, transfer, d, iterations,
+                    seconds, gflops, decode[code],
+                )
+                for d, seconds, gflops, code in zip(
+                    dims_objs, col_s[row:end], col_g[row:end],
+                    check_codes[row:end],
+                )
+            ]
+        else:
+            column = [
+                PerfSample(
+                    device, transfer, Dims(m, n_, k), iterations,
+                    seconds, gflops, decode[code],
+                )
+                for m, n_, k, seconds, gflops, code in zip(
+                    col_m[row:end], col_n[row:end], col_k[row:end],
+                    col_s[row:end], col_g[row:end], check_codes[row:end],
+                )
+            ]
+        row = end
+        if device is DeviceKind.CPU:
+            series.cpu.extend(column)
+        else:
+            series.gpu[transfer] = column
+    if adaptive_wins is not None:
+        series.adaptive_wins = adaptive_wins
+        series.adaptive_dims = [
+            problem_type.dims_at(p) for p in config.sweep_params(problem_type)
+        ]
+    workerpool.record_shard(nbytes)
+    return series, quarantine, degraded, device_lost, stats
+
+
 def _sweep_shard_worker(payload: tuple):
     """Run one (problem type, precision) series in a pool worker.
 
-    Returns ``(series, quarantine, degraded, device_lost, stats)`` —
-    everything the parent needs for a deterministic ordered merge.
+    Returns a tagged result tuple — ``("shm", ...)`` from pool workers
+    (samples ride a shared-memory segment, see :func:`_pack_shard_result`)
+    or ``("pickle", series, quarantine, degraded, device_lost, stats)``
+    from the in-process last resort — that :func:`_decode_shard_result`
+    turns back into everything the parent's ordered merge needs.
 
     Chaos hook: setting ``REPRO_CHAOS_KILL_SHARD=<index>`` hard-kills
     the worker assigned that shard (``os._exit``, no cleanup — the way
-    an OOM kill or node failure looks to the parent).  The guard on the
+    an OOM kill or node failure looks to the parent).  The value is
+    captured in the *parent* at payload-build time, so warm-pool workers
+    forked before the variable was set still honor it.  The guard on the
     parent pid means only *pool* attempts die; the supervised executor's
     last-resort in-process attempt runs in the parent and survives, so a
     kill-always chaos run still completes.
@@ -811,12 +1069,12 @@ def _sweep_shard_worker(payload: tuple):
     import os
 
     (
-        backend, problem_type, precision, config, retry, done, quarantined,
-        shard_path, system_name, transfers, gpu_lost, degraded,
-        shard_index, parent_pid,
+        backend, problem_type, precision, config, retry, done_rows,
+        quarantined, shard_path, system_name, transfers, gpu_lost, degraded,
+        shard_index, parent_pid, chaos,
     ) = payload
-    chaos = os.environ.get("REPRO_CHAOS_KILL_SHARD")
-    if chaos == str(shard_index) and os.getpid() != parent_pid:
+    in_worker = os.getpid() != parent_pid
+    if chaos == str(shard_index) and in_worker:
         os._exit(1)
     result = RunResult(config=config, system_name=system_name)
     writer = (
@@ -836,15 +1094,17 @@ def _sweep_shard_worker(payload: tuple):
         result.degraded = True
     try:
         series = _run_series(
-            state, problem_type, precision, config, transfers, done,
-            quarantined,
+            state, problem_type, precision, config, transfers,
+            _decode_done(done_rows), quarantined,
         )
     finally:
         if writer is not None:
             writer.close()
+    if in_worker:
+        return _pack_shard_result(series, result)
     return (
-        series, result.quarantine, result.degraded, result.device_lost,
-        result.stats,
+        "pickle", series, result.quarantine, result.degraded,
+        result.device_lost, result.stats,
     )
 
 
@@ -891,40 +1151,45 @@ def _run_parallel(
     system_name: Optional[str],
     shard_timeout_s: Optional[float] = None,
 ) -> None:
-    """Shard series across a *supervised* process pool; merge in
+    """Shard series across the *supervised* warm pool; merge in
     submission order.
 
-    Supervision loop: every round submits the still-pending shards to a
-    fresh pool and waits on each future (bounded by ``shard_timeout_s``).
-    A worker death (``BrokenProcessPool``) charges every shard that lost
-    its result; a deadline overrun kills the wedged pool and charges
-    only the late shard — siblings keep finished results and re-run
-    uncharged.  A shard that fails :data:`_MAX_SHARD_RETRIES` + 1 pool
-    attempts runs in-process in the parent, which cannot be killed, so
-    the sweep always completes.  Backoff between attempts is simulated
-    (accumulated on stats, never slept), recoveries are journaled as
-    ``shard-retry`` / ``shard-inprocess`` events, and the merged result
-    stays bit-identical to a clean serial run.
+    Supervision loop: every round submits the still-pending shards and
+    waits on each future (bounded by ``shard_timeout_s``).  First-attempt
+    shards share the persistent warm pool (:mod:`repro.core.workerpool`
+    — spawned once, reused across sweeps); a shard that already broke a
+    pool runs on an ephemeral dedicated single-worker pool, so a repeat
+    death cannot take its siblings' work with it.  A worker death
+    (``BrokenProcessPool``) charges every shard that lost its result and
+    retires the warm pool (the next acquisition respawns it); a deadline
+    overrun kills the wedged pool and charges only the late shard —
+    siblings keep finished results and re-run uncharged.  A shard that
+    fails :data:`_MAX_SHARD_RETRIES` + 1 pool attempts runs in-process
+    in the parent, which cannot be killed, so the sweep always
+    completes.  Backoff between attempts is simulated (accumulated on
+    stats, never slept), recoveries are journaled as ``shard-retry`` /
+    ``shard-inprocess`` events, and the merged result stays bit-identical
+    to a clean serial run (workers return samples through shared-memory
+    segments whose float64 bit patterns survive the trip exactly).
     """
     import concurrent.futures
-    import multiprocessing
     import os
     from pathlib import Path
 
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
+    from . import workerpool
 
     result = state.result
     stats = result.stats
     was_degraded = result.degraded
     parent_pid = os.getpid()
+    chaos = os.environ.get("REPRO_CHAOS_KILL_SHARD")
     payloads = []
     shard_paths = []
     for i, (problem_type, precision) in enumerate(shards):
         ident = (problem_type.kernel.value, problem_type.ident, precision.value)
-        done_sub = {k: v for k, v in done.items() if k[:3] == ident}
+        done_rows = _encode_done(
+            {k: v for k, v in done.items() if k[:3] == ident}
+        )
         quarantined_sub = {k for k in quarantined_keys if k[:3] == ident}
         shard_path = (
             f"{state.writer.path}.shard-{i}" if state.writer is not None
@@ -933,8 +1198,8 @@ def _run_parallel(
         shard_paths.append(shard_path)
         payloads.append((
             state.backend, problem_type, precision, config, state.retry,
-            done_sub, quarantined_sub, shard_path, system_name, transfers,
-            state.gpu_lost, result.degraded, i, parent_pid,
+            done_rows, quarantined_sub, shard_path, system_name, transfers,
+            state.gpu_lost, result.degraded, i, parent_pid, chaos,
         ))
 
     def charge(i: int, reason: str) -> None:
@@ -977,22 +1242,40 @@ def _run_parallel(
         if not pending:
             break
         # Blast-radius control: a shard that already broke a pool runs
-        # in its own single-worker pool this round, so a repeat death
-        # cannot take its siblings' work (and attempt budgets) with it.
-        # First-attempt shards share one pool for throughput.
+        # in its own *ephemeral* single-worker pool this round, so a
+        # repeat death cannot take its siblings' work (and attempt
+        # budgets) — or the shared warm pool — with it.  First-attempt
+        # shards share the warm pool for throughput.
         fresh = [i for i in pending if attempts[i] == 0]
-        groups = ([fresh] if fresh else []) + [
-            [i] for i in pending if attempts[i] > 0
+        groups = ([(fresh, True)] if fresh else []) + [
+            ([i], False) for i in pending if attempts[i] > 0
         ]
         still = []
-        for group in groups:
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(group)), mp_context=ctx
+        for group, warm in groups:
+            pool = (
+                workerpool.get_pool(jobs) if warm
+                else workerpool.dedicated_pool()
             )
-            futures = {
-                i: pool.submit(_sweep_shard_worker, payloads[i])
-                for i in group
-            }
+            try:
+                futures = {
+                    i: pool.submit(_sweep_shard_worker, payloads[i])
+                    for i in group
+                }
+            except Exception:
+                # A warm pool can report healthy and still refuse the
+                # submit: a prior sweep's worker death is detected by
+                # the executor's manager thread asynchronously, so the
+                # breakage may only surface now.  Retire it and submit
+                # to a fresh respawn (uncharged — no shard ran).
+                if not warm:
+                    raise
+                workerpool.mark_broken(jobs)
+                pool = workerpool.get_pool(jobs)
+                futures = {
+                    i: pool.submit(_sweep_shard_worker, payloads[i])
+                    for i in group
+                }
+            broken = False
             try:
                 deadline_hit = False
                 for i, future in futures.items():
@@ -1019,7 +1302,10 @@ def _run_parallel(
                             i,
                             f"deadline of {shard_timeout_s:.3g}s exceeded",
                         )
-                        _terminate_pool(pool)
+                        if warm:
+                            workerpool.terminate(jobs)
+                        else:
+                            _terminate_pool(pool)
                         deadline_hit = True
                     except Exception:
                         # A dead worker breaks its whole pool: every
@@ -1027,12 +1313,21 @@ def _run_parallel(
                         # and is charged a pool attempt.
                         still.append(i)
                         charge(i, "worker died")
+                        broken = True
             finally:
-                pool.shutdown(wait=False, cancel_futures=True)
+                if warm:
+                    # The warm pool outlives the sweep unless a worker
+                    # death poisoned it — then retire it so the next
+                    # acquisition respawns warm workers.
+                    if broken:
+                        workerpool.mark_broken(jobs)
+                else:
+                    pool.shutdown(wait=False, cancel_futures=True)
         pending = still
-    for (series, quarantine, degraded, device_lost, shard_stats), shard_path in zip(
-        outcomes, shard_paths
-    ):
+    for i, (outcome, shard_path) in enumerate(zip(outcomes, shard_paths)):
+        series, quarantine, degraded, device_lost, shard_stats = (
+            _decode_shard_result(outcome, shards[i], config)
+        )
         result.series.append(series)
         result.quarantine.extend(quarantine)
         for entry in quarantine:
@@ -1048,6 +1343,8 @@ def _run_parallel(
         stats.backoff_s += shard_stats.backoff_s
         stats.resumed_samples += shard_stats.resumed_samples
         stats.fallback_samples += shard_stats.fallback_samples
+        stats.adaptive_cells_sampled += shard_stats.adaptive_cells_sampled
+        stats.adaptive_cells_dense += shard_stats.adaptive_cells_dense
         if shard_path is not None:
             state.writer.merge_shard(shard_path)
             Path(shard_path).unlink(missing_ok=True)

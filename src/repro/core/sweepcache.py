@@ -62,6 +62,7 @@ __all__ = [
     "prune_cache",
     "store_run",
     "sweep_cache_key",
+    "top_entries",
 ]
 
 #: v2 added the ``payload_sha256`` integrity digest.
@@ -120,9 +121,10 @@ def _entry_path(cache_dir, key: str) -> Path:
     return Path(cache_dir) / f"{key}.json"
 
 
-def _bump_stat(cache_dir, field: str) -> None:
+def _bump_stat(cache_dir, field: str, entry_key: Optional[str] = None) -> None:
     """Increment one persistent store counter (best-effort: a stats
-    write must never fail a sweep)."""
+    write must never fail a sweep).  ``entry_key`` additionally bumps
+    that entry's per-key hit count (``gpu-blob cache stats --top``)."""
     path = Path(cache_dir) / STATS_FILENAME
     with contextlib.suppress(Exception):
         with _cache_lock(path.parent):
@@ -133,9 +135,36 @@ def _bump_stat(cache_dir, field: str) -> None:
             if not isinstance(counters, dict):
                 counters = {}
             counters[field] = int(counters.get(field, 0)) + 1
+            if entry_key is not None:
+                per_entry = counters.get("entry_hits")
+                if not isinstance(per_entry, dict):
+                    per_entry = {}
+                per_entry[entry_key] = int(per_entry.get(entry_key, 0)) + 1
+                counters["entry_hits"] = per_entry
             tmp = path.with_suffix(f".tmp-{os.getpid()}")
             tmp.write_text(json.dumps(counters, sort_keys=True) + "\n")
             tmp.replace(path)
+
+
+def top_entries(cache_dir, limit: int = 10) -> List[dict]:
+    """The store's hottest entries by per-key hit count, descending
+    (ties broken by key for a stable listing)."""
+    cache_dir = Path(cache_dir)
+    try:
+        counters = json.loads((cache_dir / STATS_FILENAME).read_text())
+    except (OSError, ValueError):
+        counters = {}
+    per_entry = counters.get("entry_hits") if isinstance(counters, dict) else {}
+    if not isinstance(per_entry, dict):
+        per_entry = {}
+    ranked = sorted(
+        per_entry.items(), key=lambda kv: (-int(kv[1]), kv[0])
+    )[: max(0, limit)]
+    out = []
+    for key, hits in ranked:
+        present = _entry_path(cache_dir, key).is_file()
+        out.append({"key": key, "hits": int(hits), "present": present})
+    return out
 
 
 def cache_stats(cache_dir) -> dict:
@@ -307,7 +336,10 @@ def load_cached_run(
     if key is None:
         return None
     result = _load_entry(cache_dir, key, config, system_name)
-    _bump_stat(cache_dir, "misses" if result is None else "hits")
+    if result is None:
+        _bump_stat(cache_dir, "misses")
+    else:
+        _bump_stat(cache_dir, "hits", entry_key=key)
     return result
 
 

@@ -15,7 +15,12 @@ import pytest
 
 import repro.cli as cli
 from repro import AnalyticBackend, RunConfig, make_model, run_sweep
-from repro.core.sweepcache import STATS_FILENAME, SingleFlight, cache_stats
+from repro.core.sweepcache import (
+    STATS_FILENAME,
+    SingleFlight,
+    cache_stats,
+    top_entries,
+)
 from repro.errors import ConfigError
 from repro.types import Kernel, Precision
 
@@ -87,6 +92,63 @@ def test_cli_cache_stats_text_and_json(tmp_path, capsys):
     assert payload["misses"] == 1
     assert payload["stores"] == 1
     assert payload["hit_rate"] == 0.5
+
+
+def test_top_entries_rank_by_per_key_hits(tmp_path):
+    cache = tmp_path / "cache"
+    _sweep(cache)  # miss + store
+    _sweep(cache)  # hit
+    _sweep(cache)  # hit
+    (top,) = top_entries(cache)
+    assert top["hits"] == 2
+    assert top["present"] is True
+    (entry,) = cache.glob("*.json")
+    assert top["key"] == entry.stem
+
+    # an evicted entry keeps its hit history but is flagged
+    entry.unlink()
+    (top,) = top_entries(cache)
+    assert top["hits"] == 2
+    assert top["present"] is False
+
+
+def test_top_entries_empty_store_and_limit(tmp_path):
+    assert top_entries(tmp_path / "ghost") == []
+    cache = tmp_path / "cache"
+    _sweep(cache)
+    _sweep(cache)
+    assert top_entries(cache, 0) == []
+    assert len(top_entries(cache, 5)) == 1
+
+
+def test_cli_cache_stats_top_flag(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _sweep(cache)
+    _sweep(cache)
+    (entry,) = cache.glob("*.json")
+
+    assert cli.main(
+        ["cache", "stats", "--cache-dir", str(cache), "--top", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "top 1 entry by hits:" in out
+    assert entry.stem in out
+    assert "(evicted)" not in out
+
+    assert cli.main(
+        ["cache", "stats", "--cache-dir", str(cache), "--top", "3",
+         "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["top_entries"] == [
+        {"key": entry.stem, "hits": 1, "present": True}
+    ]
+
+    entry.unlink()
+    assert cli.main(
+        ["cache", "stats", "--cache-dir", str(cache), "--top", "3"]
+    ) == 0
+    assert "(evicted)" in capsys.readouterr().out
 
 
 def test_single_flight_coalesces_concurrent_callers():
