@@ -1,0 +1,302 @@
+"""Fault tolerance of distributed campaigns, with real processes.
+
+Runs the same small campaign four ways over real ``gpu-blob``
+subprocesses and holds every aggregated report against the single-node
+golden, byte for byte:
+
+1. **golden** — a single-node ``gpu-blob campaign`` run; its
+   ``campaign_report.csv``/``.json`` bytes are the ground truth.
+2. **worker kill** — 3 subprocess workers under
+   ``--chaos-plan node-kill``: the dispatcher SIGKILLs one worker right
+   after handing it a scenario, steals the orphaned scenario, and must
+   still finish with zero lost scenarios and identical bytes.
+3. **partition** — ``--chaos-plan partition``: a worker's messages are
+   withheld past its lease; the scenario is stolen and the stale
+   duplicate finish deduped.
+4. **dispatcher kill -9 + resume** — the *dispatcher* process is
+   SIGKILL-ed mid-campaign, then the same command re-runs with
+   ``--resume``: the dispatch ledger replays, survivors' result shards
+   are salvaged, and the report still matches.
+
+Finally the crashed-and-recovered dist dir (ledger + result shards)
+must pass ``fsck`` with zero findings.  Writes
+``results/BENCH_dist_campaign.json``.  Runnable standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_dist_campaign.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_dist_campaign.py --check
+
+``--check`` exits non-zero on any lost scenario, divergent report
+byte, missing steal/replay evidence, or fsck finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from pathlib import Path
+
+from harness import RESULTS_DIR, run_once
+from repro.core.fsck import fsck_paths
+from repro.dist.ledger import LEDGER_FILENAME, load_ledger_state
+
+SEED = 20260808
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+#: 8 scenarios (4 iteration counts x 2 systems): enough runway that a
+#: mid-campaign dispatcher kill genuinely interrupts work in flight.
+CAMPAIGN_TOML = textwrap.dedent(
+    """\
+    schema = 1
+    name = "bench-dist"
+
+    [matrix]
+    systems = ["dawn", "lumi"]
+    kernels = ["gemm"]
+    problems = ["square"]
+    precisions = ["single"]
+    transfers = ["once"]
+    iterations = [4, 8, 16, 32]
+
+    [sweep]
+    min_dim = 1
+    max_dim = 384
+    step = 8
+    """
+)
+SCENARIOS = 8
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(args, timeout=300.0):
+    """One ``gpu-blob`` subprocess; returns (rc, stdout+stderr)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+        timeout=timeout,
+    )
+    return proc.returncode, proc.stdout
+
+
+def report_bytes(out_dir: Path):
+    return (
+        (out_dir / "campaign_report.csv").read_bytes(),
+        (out_dir / "campaign_report.json").read_bytes(),
+    )
+
+
+def campaign_args(toml_path, out_dir, dist_dir, *extra):
+    return [
+        "campaign", str(toml_path),
+        "--output", str(out_dir),
+        "--dist-dir", str(dist_dir),
+        "--no-cache",
+        "--workers", "3",
+        "--lease", "6",
+        *extra,
+    ]
+
+
+def phase_chaos(toml_path, root: Path, golden, kind: str) -> dict:
+    out = root / f"out-{kind}"
+    dist = root / f"dist-{kind}"
+    t0 = time.monotonic()
+    rc, log = run_cli(campaign_args(
+        toml_path, out, dist, "--chaos-plan", f"{kind}:{SEED}",
+    ))
+    elapsed = time.monotonic() - t0
+    csv_b, json_b = report_bytes(out) if rc == 0 else (b"", b"")
+    state = load_ledger_state(dist / LEDGER_FILENAME)
+    counts = state.counts()
+    return {
+        "kind": kind,
+        "rc": rc,
+        "elapsed_s": round(elapsed, 3),
+        "chaos_fired": "chaos:" in log,
+        "steal_logged": "stealing scenario" in log or "salvage" in log,
+        "ledger_complete": counts["complete"],
+        "ledger_dead": counts["dead"],
+        "lost_scenarios": SCENARIOS - counts["complete"] - counts["dead"],
+        "csv_identical": csv_b == golden[0],
+        "json_identical": json_b == golden[1],
+    }
+
+
+def phase_dispatcher_kill(toml_path, root: Path, golden) -> dict:
+    """SIGKILL the dispatcher once the ledger shows work in flight,
+    then re-run the same command with ``--resume``."""
+    out = root / "out-restart"
+    dist = root / "dist-restart"
+    ledger_path = dist / LEDGER_FILENAME
+    argv = [sys.executable, "-m", "repro.cli",
+            *campaign_args(toml_path, out, dist)]
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=_env(),
+    )
+    killed_mid_flight = False
+    deadline = time.monotonic() + 240.0
+    while time.monotonic() < deadline and proc.poll() is None:
+        state = load_ledger_state(ledger_path)
+        counts = state.counts()
+        # at least one complete, at least one still in flight: the
+        # most interesting instant to die
+        if counts["complete"] >= 1 and state.in_flight():
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            killed_mid_flight = True
+            break
+        time.sleep(0.02)
+    if not killed_mid_flight and proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=30)
+    proc.stdout.read()
+    proc.stdout.close()
+
+    pre = load_ledger_state(ledger_path).counts()
+    t0 = time.monotonic()
+    rc, log = run_cli(campaign_args(toml_path, out, dist, "--resume"))
+    elapsed = time.monotonic() - t0
+    csv_b, json_b = report_bytes(out) if rc == 0 else (b"", b"")
+    counts = load_ledger_state(ledger_path).counts()
+    return {
+        "kind": "dispatcher-restart",
+        "rc": rc,
+        "elapsed_s": round(elapsed, 3),
+        "killed_mid_flight": killed_mid_flight,
+        "complete_before_resume": pre["complete"],
+        "replay_logged": "replayed from the ledger" in log,
+        "ledger_complete": counts["complete"],
+        "ledger_dead": counts["dead"],
+        "lost_scenarios": SCENARIOS - counts["complete"] - counts["dead"],
+        "csv_identical": csv_b == golden[0],
+        "json_identical": json_b == golden[1],
+    }
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        toml_path = root / "bench-dist.toml"
+        toml_path.write_text(CAMPAIGN_TOML)
+
+        golden_dir = root / "golden"
+        t0 = time.monotonic()
+        rc, _ = run_cli([
+            "campaign", str(toml_path),
+            "--output", str(golden_dir), "--no-cache",
+        ])
+        assert rc == 0, "single-node golden run failed"
+        golden = report_bytes(golden_dir)
+        golden_s = time.monotonic() - t0
+
+        phases = [
+            phase_chaos(toml_path, root, golden, "node-kill"),
+            phase_chaos(toml_path, root, golden, "partition"),
+            phase_dispatcher_kill(toml_path, root, golden),
+        ]
+
+        findings = fsck_paths([root / "dist-restart"])
+        return {
+            "campaign": {"scenarios": SCENARIOS, "golden_s":
+                         round(golden_s, 3)},
+            "phases": phases,
+            "fsck": {"findings": len(findings),
+                     "details": [str(f) for f in findings]},
+        }
+
+
+def violations(data: dict) -> list:
+    problems = []
+    for phase in data["phases"]:
+        kind = phase["kind"]
+        if phase["rc"] != 0:
+            problems.append(f"{kind}: campaign exited {phase['rc']}")
+        if phase["lost_scenarios"] != 0:
+            problems.append(
+                f"{kind}: {phase['lost_scenarios']} scenario(s) lost"
+            )
+        if phase["ledger_dead"] != 0:
+            problems.append(
+                f"{kind}: {phase['ledger_dead']} scenario(s) dead-lettered"
+            )
+        if not (phase["csv_identical"] and phase["json_identical"]):
+            problems.append(f"{kind}: report bytes diverge from golden")
+    if data["fsck"]["findings"]:
+        problems.append(
+            f"fsck: {data['fsck']['findings']} finding(s) in the "
+            "crashed-and-recovered dist dir"
+        )
+    return problems
+
+
+def report(data: dict) -> str:
+    lines = [
+        f"distributed campaign chaos "
+        f"({data['campaign']['scenarios']} scenarios, golden "
+        f"{data['campaign']['golden_s']}s):"
+    ]
+    for phase in data["phases"]:
+        identical = phase["csv_identical"] and phase["json_identical"]
+        lines.append(
+            f"  {phase['kind']:<19}: rc={phase['rc']} "
+            f"complete={phase['ledger_complete']}/"
+            f"{data['campaign']['scenarios']} "
+            f"lost={phase['lost_scenarios']} "
+            f"bytes={'identical' if identical else 'DIVERGED'} "
+            f"({phase['elapsed_s']}s)"
+        )
+    lines.append(f"  fsck               : {data['fsck']['findings']} "
+                 "finding(s)")
+    return "\n".join(lines)
+
+
+def write_json(data: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_dist_campaign.json"
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_dist_campaign(benchmark):
+    data = run_once(benchmark, measure)
+    write_json(data)
+    print("\n" + report(data))
+    assert violations(data) == []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on lost scenarios, divergent bytes, or fsck findings",
+    )
+    args = parser.parse_args(argv)
+    data = measure()
+    write_json(data)
+    print(report(data))
+    if args.check:
+        problems = violations(data)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ Examples::
     gpu-blob serve --chaos-plan heavy:7 --sweep-jobs 2   # fire drill
     gpu-blob campaign campaigns/ci-smoke.toml -o results/campaign/ci-smoke
     gpu-blob campaign campaigns/ci-smoke.toml --checkpoint-dir ck --resume
+    gpu-blob campaign campaigns/ci-smoke.toml --dry-run
+    gpu-blob campaign campaigns/ci-smoke.toml --workers 3 --lease 10 \
+        -o results/campaign/ci-smoke     # distributed, ledger-coordinated
+    gpu-blob campaign campaigns/ci-smoke.toml --workers 3 \
+        --chaos-plan node-kill:7         # fleet fire drill
+    gpu-blob query --port 8377 --system dawn --kernel gemm -i 8
     gpu-blob spec lint specs
     gpu-blob spec list
 
@@ -57,6 +63,7 @@ from .types import ALL_PRECISIONS, Kernel, Precision, TransferType
 __all__ = [
     "build_campaign_parser",
     "build_parser",
+    "build_query_parser",
     "build_spec_parser",
     "main",
 ]
@@ -378,7 +385,85 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-scenario progress and the report summary",
     )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expanded scenario matrix (count, per-system "
+        "breakdown) and exit without executing anything",
+    )
+    dist = parser.add_argument_group(
+        "distributed execution",
+        "shard scenarios across worker processes, coordinated through "
+        "a durable dispatch ledger with leases, heartbeats and work "
+        "stealing; the aggregated report is byte-identical to a "
+        "single-node run",
+    )
+    dist.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="dispatch scenarios across N gpu-blob dist-worker "
+        "subprocesses instead of running them inline",
+    )
+    dist.add_argument(
+        "--worker-cmd", metavar="CMD", default=None,
+        help="command prefix launching one worker (appended with the "
+        "dist-worker protocol flags); default: this interpreter's own "
+        "'python -m repro.cli dist-worker'.  Implies --workers 2 "
+        "unless --workers is given",
+    )
+    dist.add_argument(
+        "--dist-dir", metavar="DIR", default=None,
+        help="dispatch ledger + result shards (default "
+        "results/.dist/<campaign-name>); with --resume the ledger is "
+        "replayed instead of restarted",
+    )
+    dist.add_argument(
+        "--lease", type=float, default=15.0, metavar="SECONDS",
+        help="scenario lease: a worker silent past its lease loses the "
+        "scenario to a healthy one (default 15)",
+    )
+    dist.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="worker heartbeat interval (default: lease/5)",
+    )
+    dist.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts (dispatches) per scenario before it dead-letters "
+        "into the report as quarantined rows (default 3)",
+    )
+    dist.add_argument(
+        "--chaos-plan", metavar="PLAN", default=None,
+        help="seeded fleet chaos: node-kill | partition | slow-worker, "
+        "optionally ':<seed>' (composes with REPRO_CHAOS_KILL_SHARD "
+        "inside workers)",
+    )
     return parser
+
+
+def _main_campaign_dry_run(campaign, scenarios, log) -> int:
+    """The ``--dry-run`` sizing report: what would run, where."""
+    from collections import Counter
+
+    per_system = Counter(s.system for s in scenarios)
+    cells = sum(
+        len(s.config.problem_types())
+        * len(s.config.precisions)
+        * len(s.config.transfers)
+        for s in scenarios
+    )
+    log(
+        f"campaign {campaign.name!r} (fingerprint "
+        f"{campaign.fingerprint()}): {len(scenarios)} scenario(s), "
+        f"{cells} report cell(s)"
+    )
+    for system, count in per_system.items():
+        iters = sorted(
+            s.iterations for s in scenarios if s.system == system
+        )
+        log(
+            f"  {system}: {count} scenario(s), iterations "
+            f"{', '.join(str(i) for i in iters)}"
+        )
+    log("dry run: nothing executed")
+    return 0
 
 
 def _main_campaign(argv: List[str]) -> int:
@@ -386,6 +471,7 @@ def _main_campaign(argv: List[str]) -> int:
 
     from .core.campaign import (
         assert_no_drift,
+        expand_scenarios,
         load_campaign,
         run_campaign,
         write_report,
@@ -393,26 +479,44 @@ def _main_campaign(argv: List[str]) -> int:
 
     args = build_campaign_parser().parse_args(argv)
     log = (lambda line: None) if args.quiet else print
+    distributed = args.workers is not None or args.worker_cmd is not None
     try:
-        if args.resume and not args.checkpoint_dir:
-            raise ReproError("--resume needs --checkpoint-dir DIR")
+        if args.resume and not distributed and not args.checkpoint_dir:
+            raise ReproError(
+                "--resume needs --checkpoint-dir DIR (or --workers N, "
+                "where it replays the dispatch ledger)"
+            )
         campaign = load_campaign(args.file)
+        if args.dry_run:
+            scenarios = expand_scenarios(
+                campaign, strict=args.strict, adaptive=args.adaptive,
+            )
+            return _main_campaign_dry_run(campaign, scenarios, log)
         log(
             f"campaign {campaign.name!r}: {len(campaign.systems)} "
             f"system(s), matrix of {campaign.matrix_size} cell(s)"
         )
-        result = run_campaign(
-            campaign,
-            jobs=args.jobs,
-            backend=args.backend,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            strict=args.strict,
-            stop_after=args.stop_after,
-            adaptive=True if args.adaptive else None,
-            log=log,
-        )
+        if distributed:
+            result = _run_campaign_distributed(campaign, args, log)
+        else:
+            result = run_campaign(
+                campaign,
+                jobs=args.jobs,
+                backend=args.backend,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                strict=args.strict,
+                stop_after=args.stop_after,
+                adaptive=True if args.adaptive else None,
+                log=log,
+            )
+        if result.quarantined:
+            log(
+                f"campaign degraded: {len(result.quarantined)} "
+                "scenario(s) dead-lettered (quarantined rows in the "
+                "report)"
+            )
         if not result.complete:
             log(
                 f"campaign partial ({result.executed}/"
@@ -437,6 +541,165 @@ def _main_campaign(argv: List[str]) -> int:
         f"campaign {campaign.name!r} complete: {len(rows)} threshold "
         f"row(s), {found} with a GPU offload threshold"
     )
+    return 0
+
+
+def _run_campaign_distributed(campaign, args, log):
+    """Shared glue between the campaign parser's distributed flags and
+    :func:`repro.dist.dispatcher.run_campaign_distributed`."""
+    import shlex
+    from pathlib import Path
+
+    from .dist.dispatcher import run_campaign_distributed
+    from .faults.distchaos import DistChaosPlan
+
+    if args.checkpoint_dir:
+        raise ReproError(
+            "--checkpoint-dir journals per-scenario sweeps on one node; "
+            "distributed runs journal the dispatch ledger instead — "
+            "drop --checkpoint-dir"
+        )
+    chaos = (
+        DistChaosPlan.parse(args.chaos_plan) if args.chaos_plan else None
+    )
+    worker_cmd = shlex.split(args.worker_cmd) if args.worker_cmd else None
+    worker_count = args.workers if args.workers is not None else 2
+    dist_dir = (
+        Path(args.dist_dir)
+        if args.dist_dir
+        else Path("results") / ".dist" / campaign.name
+    )
+    result = run_campaign_distributed(
+        campaign,
+        dist_dir=dist_dir,
+        worker_count=worker_count,
+        worker_cmd=worker_cmd,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        strict=args.strict,
+        adaptive=True if args.adaptive else None,
+        resume=args.resume,
+        lease_s=args.lease,
+        heartbeat_s=args.heartbeat,
+        max_attempts=args.max_attempts,
+        chaos=chaos,
+        log=log,
+    )
+    stats = result.dist_stats or {}
+    turnaround = stats.get("turnaround") or {}
+    p50 = turnaround.get("p50_ms")
+    log(
+        f"dispatch: {stats.get('assignments', 0)} assignment(s) across "
+        f"{stats.get('workers', 0)} worker(s), "
+        f"{stats.get('steals', 0)} steal(s), "
+        f"{stats.get('duplicate_finishes', 0)} duplicate finish(es) "
+        f"deduped, {stats.get('replayed', 0)} replayed from the ledger"
+        + (f", p50 scenario turnaround {p50:.0f}ms" if p50 else "")
+    )
+    return result
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-blob query",
+        description=(
+            "Ask a running gpu-blob serve daemon for one offload "
+            "threshold.  Degraded (stale-while-revalidate) answers are "
+            "surfaced, not swallowed: the server's Warning: 110 header "
+            "and stale_iterations annotation print to stderr."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--system", required=True, metavar="NAME")
+    parser.add_argument("--kernel", choices=("gemm", "gemv"),
+                        default="gemm")
+    parser.add_argument("--problem", default="square", metavar="IDENT")
+    parser.add_argument("--precision", choices=("single", "double"),
+                        default="single")
+    parser.add_argument(
+        "--paradigm", choices=tuple(t.value for t in TransferType),
+        default="once",
+    )
+    parser.add_argument("-i", "--iterations", type=int, default=1,
+                        metavar="N")
+    parser.add_argument("--dim", type=int, default=None, metavar="DIM",
+                        help="also report the best device for this "
+                        "problem size")
+    parser.add_argument("--max-dim", type=int, default=4096, metavar="DIM")
+    parser.add_argument("--step", type=int, default=8, metavar="N")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw response body")
+    return parser
+
+
+def _main_query(argv: List[str]) -> int:
+    import asyncio
+    import json as _json
+
+    from .serve.client import ClientRetryPolicy, ServeClient
+
+    args = build_query_parser().parse_args(argv)
+    payload = {
+        "system": args.system,
+        "kernel": args.kernel,
+        "problem": args.problem,
+        "precision": args.precision,
+        "paradigm": args.paradigm,
+        "iterations": args.iterations,
+        "max_dim": args.max_dim,
+        "step": args.step,
+    }
+    if args.dim is not None:
+        payload["dim"] = args.dim
+
+    async def _go():
+        client = ServeClient(args.host, args.port,
+                             retry=ClientRetryPolicy())
+        try:
+            return await client.post("/v1/threshold", payload)
+        finally:
+            await client.close()
+
+    try:
+        response = asyncio.run(_go())
+    except (ConnectionError, OSError) as exc:
+        print(f"gpu-blob: error: cannot reach {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 3
+    try:
+        body = response.json()
+    except ValueError:
+        body = {}
+    if response.status != 200:
+        detail = body.get("error", response.body.decode("utf-8", "replace"))
+        print(f"gpu-blob: error: server answered {response.status}: "
+              f"{detail}", file=sys.stderr)
+        return 3 if response.status in (429, 503) or \
+            response.status >= 500 else 2
+    if args.json:
+        print(_json.dumps(body, sort_keys=True))
+    else:
+        threshold = body.get("threshold", {})
+        if threshold.get("found"):
+            print(f"threshold: {threshold.get('notation')}")
+        else:
+            print("threshold: none found in the swept range")
+        if "best_device" in body:
+            print(f"best device: {body['best_device']}")
+        hit = body.get("cache", {}).get("hit")
+        if hit is not None:
+            print(f"cache: {'hit' if hit else 'miss'}")
+    if response.degraded:
+        stale = response.stale_iterations
+        reason = body.get("cache", {}).get("reason", "backend unavailable")
+        print(
+            "gpu-blob: warning: DEGRADED answer (stale-while-revalidate"
+            + (f", stale_iterations={stale}" if stale is not None else "")
+            + f"): {reason}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -600,6 +863,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "campaign":
         return _main_campaign(argv[1:])
+    if argv and argv[0] == "dist-worker":
+        from .dist.worker import worker_main
+
+        return worker_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _main_query(argv[1:])
     if argv and argv[0] == "spec":
         return _main_spec(argv[1:])
     return _main_sweep(argv)

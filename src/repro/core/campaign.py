@@ -207,12 +207,21 @@ class CampaignResult:
     results: List[Optional[RunResult]] = field(default_factory=list)
     #: scenarios actually executed this call (resume replays count)
     executed: int = 0
+    #: dead-lettered scenario index -> reason; a distributed campaign
+    #: that exhausts a scenario's attempts completes *degraded*, and
+    #: these report as ``found=quarantined`` rows instead of results
+    quarantined: Dict[int, str] = field(default_factory=dict)
+    #: dispatcher counters (plus a turnaround-latency histogram
+    #: snapshot) when the run was distributed, None otherwise
+    dist_stats: Optional[Dict[str, object]] = None
 
     @property
     def complete(self) -> bool:
-        return (
-            len(self.results) == len(self.scenarios)
-            and all(r is not None for r in self.results)
+        """Every scenario is accounted for — by a result or by a
+        quarantine entry (degraded completion still completes)."""
+        return len(self.results) == len(self.scenarios) and all(
+            r is not None or i in self.quarantined
+            for i, r in enumerate(self.results)
         )
 
     def rows(self) -> List[Dict[str, str]]:
@@ -516,6 +525,8 @@ def report_rows(result: CampaignResult) -> List[Dict[str, str]]:
     rows: List[Dict[str, str]] = []
     for scenario, run in zip(result.scenarios, result.results):
         if run is None:
+            if scenario.index in result.quarantined:
+                rows.extend(_quarantined_rows(scenario))
             continue
         for series in run.series:
             for transfer in series.transfer_types():
@@ -533,6 +544,36 @@ def report_rows(result: CampaignResult) -> List[Dict[str, str]]:
                     "k": str(found.dims.k) if found.found else "",
                 })
     return rows
+
+
+def _quarantined_rows(scenario: Scenario) -> List[Dict[str, str]]:
+    """Placeholder rows for a dead-lettered scenario: the cells it
+    *would* have reported, with ``found=quarantined`` and no dims —
+    same schema, so goldens and drift CSVs keep their columns."""
+    from ..errors import ReproError
+    from ..systems.catalog import resolve_system
+
+    try:
+        system = resolve_system(scenario.system).name
+    except ReproError:
+        system = scenario.system
+    return [
+        {
+            "system": system,
+            "kernel": pt.kernel.value,
+            "problem": pt.ident,
+            "precision": precision.value,
+            "transfer": transfer.value,
+            "iterations": str(scenario.iterations),
+            "found": "quarantined",
+            "m": "",
+            "n": "",
+            "k": "",
+        }
+        for pt in scenario.config.problem_types()
+        for precision in scenario.config.precisions
+        for transfer in scenario.config.transfers
+    ]
 
 
 def write_report(result: CampaignResult, directory) -> List[Path]:
@@ -564,6 +605,9 @@ def write_report(result: CampaignResult, directory) -> List[Path]:
             "size": campaign.matrix_size,
         },
         "scenarios": len(result.scenarios),
+        "quarantined": {
+            str(i): reason for i, reason in sorted(result.quarantined.items())
+        },
         "rows": rows,
     }
     json_path = directory / REPORT_JSON

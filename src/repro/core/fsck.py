@@ -3,13 +3,16 @@
 Three artifact families leave a sweep on disk, and all three now carry
 enough redundancy to be audited offline:
 
-* **checkpoint journals and serve WALs** (``*.jsonl``) — every record
-  carries a ``cs`` checksum
+* **checkpoint journals, serve WALs and dispatch ledgers**
+  (``*.jsonl``) — every record carries a ``cs`` checksum
   (:func:`repro.faults.checkpoint.record_checksum`), the first line
-  must be a versioned header (a ``kind: "serve-wal"`` header selects
-  the serve journal's own format version), and only the *final* line
-  may be torn (the crash artifact the writer itself repairs on
-  resume/restart);
+  must be a versioned header (``kind: "serve-wal"`` / ``"dist-ledger"``
+  headers select their dialect's own format version; an *unknown* kind
+  is reported, never silently version-checked as a checkpoint), and
+  only the *final* line may be torn (the crash artifact the writer
+  itself repairs on resume/restart);
+* **distributed result shards** (``<fp16>.json``) — a scenario
+  fingerprint in the filename and a ``payload_sha256`` digest inside;
 * **sweep-cache entries** (``<sha256>.json``) — every entry embeds a
   ``payload_sha256`` over its canonical payload
   (:func:`repro.core.sweepcache.payload_digest`);
@@ -45,11 +48,15 @@ __all__ = [
     "fsck_cache_entry",
     "fsck_journal",
     "fsck_paths",
+    "fsck_result_shard",
     "fsck_results_csv",
 ]
 
 #: Cache-entry stems are full SHA-256 hex digests.
 _SHA256_HEX = 64
+
+#: Dist result-shard stems are 16-hex scenario fingerprints.
+_FP_HEX = 16
 
 
 @dataclass
@@ -80,6 +87,21 @@ def _quarantine_file(path: Path, kind: str, problem: str,
 
 
 # -- journals ---------------------------------------------------------
+
+
+def _journal_versions() -> dict:
+    """The dialect registry: header ``kind`` marker -> the format
+    version this build reads.  ``None`` is the sweep checkpoint
+    dialect (no kind marker).  Lazy imports: repro.serve/.dist pull in
+    this module's siblings."""
+    from ..dist.ledger import LEDGER_KIND, LEDGER_VERSION
+    from ..serve.wal import WAL_KIND, WAL_VERSION
+
+    return {
+        None: FORMAT_VERSION,
+        WAL_KIND: WAL_VERSION,
+        LEDGER_KIND: LEDGER_VERSION,
+    }
 
 
 def fsck_journal(path, repair: bool = False) -> List[Finding]:
@@ -121,23 +143,30 @@ def fsck_journal(path, repair: bool = False) -> List[Finding]:
     header_ok = False
     if good:
         header = json.loads(good[0])
-        # a serve WAL shares the checksummed-JSONL shape but carries its
-        # own kind marker and format version (lazy import: repro.serve
-        # pulls in this module's siblings)
-        from ..serve.wal import WAL_KIND, WAL_VERSION
-
-        expected_version = (
-            WAL_VERSION if header.get("kind") == WAL_KIND else FORMAT_VERSION
-        )
+        kind = header.get("kind")
+        expected_version = _journal_versions().get(kind)
         if header.get("t") != "header":
             findings.append(
                 Finding(path, "journal", "first valid record is not a header")
             )
+        elif expected_version is None:
+            # an unknown dialect must be *reported*, not silently
+            # version-checked as a checkpoint: a version-skewed ledger
+            # from a newer build should be visible, not ignored
+            known = ", ".join(
+                repr(k) for k in _journal_versions() if k is not None
+            )
+            findings.append(Finding(
+                path, "journal",
+                f"unknown journal kind {kind!r} (this build reads: "
+                f"sweep checkpoints, {known})",
+            ))
         elif header.get("version") != expected_version:
             findings.append(Finding(
                 path, "journal",
                 f"format version {header.get('version')!r} "
-                f"(this build reads {expected_version})",
+                f"(this build reads {expected_version} for "
+                + (f"kind {kind!r})" if kind else "sweep checkpoints)"),
             ))
         else:
             header_ok = True
@@ -153,6 +182,48 @@ def fsck_journal(path, repair: bool = False) -> List[Finding]:
         for f in findings:
             f.repaired = True
     return findings
+
+
+# -- distributed result shards ----------------------------------------
+
+
+def fsck_result_shard(path, repair: bool = False) -> List[Finding]:
+    """Audit one distributed-campaign result shard (``<fp16>.json``):
+    the format version, the fingerprint the filename promises, and the
+    embedded payload digest must all verify.  Repair quarantines the
+    shard — the dispatcher then simply re-executes that scenario."""
+    from ..dist.worker import SHARD_VERSION
+
+    path = Path(path)
+    try:
+        entry = json.loads(path.read_text())
+    except OSError as exc:
+        return [Finding(path, "shard", f"unreadable: {exc}")]
+    except ValueError:
+        return [_quarantine_file(path, "shard", "unparseable JSON", repair)]
+    if not isinstance(entry, dict) or entry.get("version") != SHARD_VERSION:
+        return [_quarantine_file(
+            path, "shard",
+            f"stale or missing format version (this build writes "
+            f"{SHARD_VERSION})",
+            repair,
+        )]
+    if entry.get("fingerprint") != path.stem:
+        return [_quarantine_file(
+            path, "shard",
+            f"fingerprint {entry.get('fingerprint')!r} contradicts the "
+            "filename",
+            repair,
+        )]
+    payload = {
+        k: v for k, v in entry.items()
+        if k not in ("version", "fingerprint", "payload_sha256")
+    }
+    if entry.get("payload_sha256") != payload_digest(payload):
+        return [_quarantine_file(
+            path, "shard", "payload sha256 mismatch", repair
+        )]
+    return []
 
 
 # -- sweep-cache entries ----------------------------------------------
@@ -246,11 +317,19 @@ def _fsck_quarantine_json(path: Path, repair: bool) -> List[Finding]:
 # -- dispatcher -------------------------------------------------------
 
 
-def _is_cache_entry(path: Path) -> bool:
+def _is_hex_stem(path: Path, length: int) -> bool:
     stem = path.stem
-    return len(stem) == _SHA256_HEX and all(
+    return len(stem) == length and all(
         c in "0123456789abcdef" for c in stem
     )
+
+
+def _is_cache_entry(path: Path) -> bool:
+    return _is_hex_stem(path, _SHA256_HEX)
+
+
+def _is_result_shard(path: Path) -> bool:
+    return _is_hex_stem(path, _FP_HEX)
 
 
 def _fsck_one_file(path: Path, repair: bool) -> List[Finding]:
@@ -262,6 +341,8 @@ def _fsck_one_file(path: Path, repair: bool) -> List[Finding]:
         return _fsck_quarantine_json(path, repair)
     if path.suffix == ".json" and _is_cache_entry(path):
         return fsck_cache_entry(path, repair)
+    if path.suffix == ".json" and _is_result_shard(path):
+        return fsck_result_shard(path, repair)
     return []
 
 

@@ -58,8 +58,10 @@ __all__ = [
     "cache_stats",
     "find_stale_series",
     "load_cached_run",
+    "parse_run_payload",
     "payload_digest",
     "prune_cache",
+    "run_payload",
     "store_run",
     "sweep_cache_key",
     "top_entries",
@@ -284,13 +286,13 @@ def _parse_sample(rec: dict) -> PerfSample:
     )
 
 
-def store_run(cache_dir, backend, result) -> Optional[Path]:
-    """Store one completed run; returns the entry path (None if the
-    backend is uncacheable)."""
-    key = sweep_cache_key(result.config, result.system_name, backend)
-    if key is None:
-        return None
-    payload = {
+def run_payload(result) -> dict:
+    """The canonical JSON form of one run's series — the shared
+    serialization of cache entries and distributed-campaign result
+    shards.  Floats round-trip through JSON exactly, so a payload
+    parsed back by :func:`parse_run_payload` reproduces the run
+    byte-for-byte in every CSV it feeds."""
+    return {
         "system": result.system_name,
         "series": [
             {
@@ -303,6 +305,40 @@ def store_run(cache_dir, backend, result) -> Optional[Path]:
             for series in result.series
         ],
     }
+
+
+def parse_run_payload(payload: dict, config: RunConfig,
+                      system_name: Optional[str]):
+    """Reconstruct a :class:`~repro.core.runner.RunResult` from a
+    :func:`run_payload` dict.  Raises ``KeyError``/``TypeError``/
+    ``ValueError`` on malformed payloads — callers decide whether that
+    is a warned cache miss or a re-dispatched scenario."""
+    from .runner import RunResult  # local import: runner imports us lazily
+
+    series_list: List[ProblemSeries] = []
+    for rec in payload["series"]:
+        series = ProblemSeries(
+            problem_type=get_problem_type(Kernel(rec["kernel"]), rec["ident"]),
+            precision=Precision(rec["precision"]),
+            iterations=rec["iterations"],
+        )
+        for sample_rec in rec["samples"]:
+            series.add(_parse_sample(sample_rec))
+        series_list.append(series)
+    return RunResult(
+        config=config,
+        system_name=payload.get("system", system_name),
+        series=series_list,
+    )
+
+
+def store_run(cache_dir, backend, result) -> Optional[Path]:
+    """Store one completed run; returns the entry path (None if the
+    backend is uncacheable)."""
+    key = sweep_cache_key(result.config, result.system_name, backend)
+    if key is None:
+        return None
+    payload = run_payload(result)
     entry = {
         "version": CACHE_VERSION,
         "payload_sha256": payload_digest(payload),
@@ -344,8 +380,6 @@ def load_cached_run(
 
 
 def _load_entry(cache_dir, key: str, config: RunConfig, system_name):
-    from .runner import RunResult  # local import: runner imports us lazily
-
     path = _entry_path(cache_dir, key)
     try:
         text = path.read_text()
@@ -366,31 +400,13 @@ def _load_entry(cache_dir, key: str, config: RunConfig, system_name):
         _warn_corrupt(path, "failed its payload sha256 check")
         return None
     try:
-        series_list: List[ProblemSeries] = []
-        count = 0
-        for rec in payload["series"]:
-            series = ProblemSeries(
-                problem_type=get_problem_type(
-                    Kernel(rec["kernel"]), rec["ident"]
-                ),
-                precision=Precision(rec["precision"]),
-                iterations=rec["iterations"],
-            )
-            for sample_rec in rec["samples"]:
-                series.add(_parse_sample(sample_rec))
-                count += 1
-            series_list.append(series)
+        result = parse_run_payload(payload, config, system_name)
     except (KeyError, TypeError, ValueError):
         _warn_corrupt(path, "does not decode to a stored run")
         return None
     with contextlib.suppress(OSError):
         os.utime(path)  # refresh LRU recency for `cache prune`
-    result = RunResult(
-        config=config,
-        system_name=payload.get("system", system_name),
-        series=series_list,
-    )
-    result.stats.cached_samples = count
+    result.stats.cached_samples = sum(len(s.samples) for s in result.series)
     return result
 
 

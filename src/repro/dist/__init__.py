@@ -1,0 +1,52 @@
+"""Distributed campaign execution.
+
+``gpu-blob campaign --workers N`` shards a campaign's expanded
+scenarios across worker processes, coordinated through a durable
+dispatch ledger (:mod:`repro.dist.ledger`), worker heartbeats
+(:mod:`repro.dist.heartbeat`), and a work-stealing dispatcher
+(:mod:`repro.dist.dispatcher`).  Workers come in two flavors
+(:mod:`repro.dist.worker`): subprocess executors speaking a JSON-lines
+protocol (the ``gpu-blob dist-worker`` entry point) and in-process
+simulated workers for deterministic tests.
+"""
+
+from .dispatcher import DistStats, run_campaign_distributed
+from .ledger import (
+    LEDGER_FILENAME,
+    LEDGER_KIND,
+    LEDGER_VERSION,
+    DispatchLedger,
+    LedgerEntry,
+    LedgerState,
+    load_ledger_state,
+)
+from .worker import (
+    SimulatedWorker,
+    SubprocessWorker,
+    execute_scenario,
+    load_result_shard,
+    scenario_fingerprint,
+    scenario_record,
+    worker_main,
+    write_result_shard,
+)
+
+__all__ = [
+    "LEDGER_FILENAME",
+    "LEDGER_KIND",
+    "LEDGER_VERSION",
+    "DispatchLedger",
+    "DistStats",
+    "LedgerEntry",
+    "LedgerState",
+    "SimulatedWorker",
+    "SubprocessWorker",
+    "execute_scenario",
+    "load_ledger_state",
+    "load_result_shard",
+    "run_campaign_distributed",
+    "scenario_fingerprint",
+    "scenario_record",
+    "worker_main",
+    "write_result_shard",
+]

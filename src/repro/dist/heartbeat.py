@@ -1,0 +1,62 @@
+"""Worker liveness tracking for the campaign dispatcher.
+
+Every message a worker sends — hello, heartbeat, done, failed — counts
+as a beat.  A worker whose last beat is older than ``timeout_s`` is
+*suspect*: the dispatcher stops assigning it scenarios and, once the
+scenario's ledger lease also expires, a healthy worker steals the
+work.  Suspicion is reversible — a partitioned worker whose beats
+resume (the partition healed) becomes assignable again; only a worker
+whose *process* is gone is permanently lost.
+
+The monitor is deliberately dumb and injectable-clock-driven so tests
+drive it with a fake clock: no threads, no wall-time reads of its own.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Last-beat bookkeeping over a set of worker ids."""
+
+    def __init__(self, timeout_s: float, clock=time.monotonic) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self._last: Dict[str, float] = {}
+        #: total beats observed (metrics)
+        self.beats = 0
+
+    def track(self, worker_id: str) -> None:
+        """Start tracking a worker; spawn time counts as its first
+        beat (a worker gets a full timeout to say hello)."""
+        self._last.setdefault(worker_id, self.clock())
+
+    def beat(self, worker_id: str) -> None:
+        """Record one message from ``worker_id`` (any type)."""
+        self._last[worker_id] = self.clock()
+        self.beats += 1
+
+    def forget(self, worker_id: str) -> None:
+        self._last.pop(worker_id, None)
+
+    def last_seen(self, worker_id: str) -> float:
+        return self._last.get(worker_id, float("-inf"))
+
+    def alive(self, worker_id: str) -> bool:
+        """Has ``worker_id`` beaten within the timeout window?"""
+        return self.clock() - self.last_seen(worker_id) < self.timeout_s
+
+    def suspects(self) -> List[str]:
+        """Tracked workers whose last beat is stale, sorted for
+        deterministic logs."""
+        now = self.clock()
+        return sorted(
+            w for w, seen in self._last.items()
+            if now - seen >= self.timeout_s
+        )

@@ -1,0 +1,114 @@
+"""Seeded chaos plans for *distributed* campaign execution.
+
+:mod:`repro.faults.servechaos` attacks one daemon's jobs; this module
+attacks the fleet.  The dispatcher applies the plan from its own side
+of the wire, so one implementation covers both worker flavors
+(subprocess and in-process simulated):
+
+* ``node-kill`` — the victim worker is killed (SIGKILL for a
+  subprocess, an instant drop for a simulated worker) right after it
+  is handed its trigger assignment.  The scenario's lease expires and
+  a healthy worker steals it.
+* ``partition`` — the victim stays alive but every message it sends
+  (heartbeats *and* results) is dropped for a window.  The dispatcher
+  must mark it suspect, steal its scenario, and — when the window ends
+  and the victim's late ``done`` finally lands — dedupe the duplicate
+  finish against the ledger.
+* ``slow-worker`` — the victim's messages are delayed, not dropped:
+  heartbeats arrive late enough to look suspicious, exercising the
+  renew/steal boundary without losing anything.
+
+Which worker is the victim and which of its assignments triggers are
+deterministic BLAKE2b draws over the seed (same machinery as every
+other fault plan), so a chaos campaign is replayable: two runs with
+one seed kill the same worker at the same point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..errors import ConfigError
+from .plan import _unit
+
+__all__ = ["DistChaosKind", "DistChaosPlan"]
+
+
+class DistChaosKind(Enum):
+    """Everything the dispatcher-side chaos harness can do to a fleet."""
+
+    NODE_KILL = "node-kill"
+    PARTITION = "partition"
+    SLOW_WORKER = "slow-worker"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DistChaosPlan:
+    """One seeded fleet fault.
+
+    ``partition_s``/``slow_s`` default to ``None``, which the
+    dispatcher resolves relative to its lease (2x and 1.5x) so the
+    fault is guaranteed to outlive the lease and actually force a
+    steal at any ``--lease`` setting.
+    """
+
+    kind: DistChaosKind
+    seed: int = 0
+    partition_s: Optional[float] = None
+    slow_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.partition_s is not None and self.partition_s <= 0:
+            raise ConfigError(
+                f"partition_s must be > 0, got {self.partition_s}"
+            )
+        if self.slow_s is not None and self.slow_s <= 0:
+            raise ConfigError(f"slow_s must be > 0, got {self.slow_s}")
+
+    def victim(self, n_workers: int) -> int:
+        """Deterministic victim index in ``[0, n_workers)``."""
+        if n_workers < 1:
+            raise ConfigError("chaos needs at least one worker to attack")
+        draw = _unit((self.seed, "dist", self.kind.value, "victim"))
+        return min(int(draw * n_workers), n_workers - 1)
+
+    def trigger_assignment(self) -> int:
+        """Which of the victim's assignments (1-based) pulls the
+        trigger — the 1st or 2nd, drawn from the seed, so the fault
+        lands mid-campaign rather than always on the opening dispatch."""
+        draw = _unit((self.seed, "dist", self.kind.value, "trigger"))
+        return 1 + int(draw * 2)
+
+    def partition_window(self, lease_s: float) -> float:
+        return self.partition_s if self.partition_s is not None \
+            else 2.0 * lease_s
+
+    def slow_delay(self, lease_s: float) -> float:
+        return self.slow_s if self.slow_s is not None else 1.5 * lease_s
+
+    @classmethod
+    def parse(cls, text: str) -> "DistChaosPlan":
+        """Build a plan from a ``--chaos-plan`` argument:
+        ``"<kind>"`` or ``"<kind>:<seed>"``."""
+        name, _, seed_text = text.partition(":")
+        seed = 0
+        if seed_text:
+            try:
+                seed = int(seed_text)
+            except ValueError:
+                raise ConfigError(
+                    f"chaos-plan seed must be an integer, got {seed_text!r}"
+                ) from None
+        try:
+            kind = DistChaosKind(name)
+        except ValueError:
+            valid = ", ".join(k.value for k in DistChaosKind)
+            raise ConfigError(
+                f"unknown dist chaos plan {name!r}; valid: {valid}"
+            ) from None
+        return cls(kind=kind, seed=seed)

@@ -100,6 +100,44 @@ class ClientResponse:
     def json(self):
         return json.loads(self.body.decode("utf-8"))
 
+    @property
+    def warning(self) -> Optional[str]:
+        """The raw ``Warning`` header, if the server sent one."""
+        return self.headers.get("warning")
+
+    @property
+    def degraded(self) -> bool:
+        """Was this a stale-while-revalidate answer?  True when the
+        server stamped ``Warning: 110`` (Response is Stale) — or, for
+        transports that drop the header, when the JSON body carries
+        ``degraded: true``.  Callers used to have to re-parse the body
+        to notice; the daemon's whole point of stamping the header is
+        that clients *surface* staleness, not swallow it."""
+        if self.warning is not None and self.warning.startswith("110"):
+            return True
+        try:
+            payload = self.json()
+        except ValueError:
+            return False
+        return isinstance(payload, dict) and payload.get("degraded") is True
+
+    @property
+    def stale_iterations(self) -> Optional[int]:
+        """How stale the degraded answer is: the iteration count of the
+        nearest cached series the server substituted (``None`` on a
+        fresh answer or an unparseable body)."""
+        try:
+            payload = self.json()
+        except ValueError:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        cache = payload.get("cache")
+        if not isinstance(cache, dict):
+            return None
+        value = cache.get("stale_iterations")
+        return value if isinstance(value, int) else None
+
 
 class ServeClient:
     """One keep-alive connection to a running daemon."""

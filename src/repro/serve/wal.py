@@ -52,12 +52,15 @@ from ..faults.checkpoint import _repair_torn_tail, record_checksum
 __all__ = [
     "WAL_KIND",
     "WAL_VERSION",
+    "ChecksummedJournal",
+    "JournalScan",
     "WalJob",
     "WalState",
     "WriteAheadLog",
     "default_owner",
     "load_wal_state",
     "repair_wal_tail",
+    "scan_journal",
 ]
 
 #: Format version of the serve WAL journal.
@@ -172,71 +175,102 @@ def _apply_record(state: WalState, rec: dict) -> bool:
     return False
 
 
-def load_wal_state(path) -> WalState:
-    """Parse one WAL file, skipping (and counting) damaged records.
+@dataclass
+class JournalScan:
+    """The raw verified content of one checksummed JSONL journal,
+    before any dialect-specific folding."""
 
-    A missing file is an empty state.  A torn final line — the crash
-    artifact — is ignored without being counted as corruption; any
-    other unparseable or checksum-failed line bumps
-    ``corrupt_records`` and is skipped, because the serving daemon must
-    come back up even when its journal took a hit (``gpu-blob fsck
-    --repair`` moves the damage aside offline).
+    #: verified non-header records, in file order
+    records: list = field(default_factory=list)
+    #: the verified header record itself (None when missing/damaged)
+    header: Optional[dict] = None
+    corrupt_records: int = 0
+    torn_tail: bool = False
+    has_header: bool = False
+
+
+def scan_journal(path, kind: Optional[str], version: int) -> JournalScan:
+    """Verify one checksummed JSONL journal line by line.
+
+    The shared read side of every journal dialect (sweep checkpoints,
+    serve WALs, dist ledgers): a missing file is an empty scan; a torn
+    final line — the crash artifact — is ignored without being counted
+    as corruption; any other unparseable or checksum-failed line bumps
+    ``corrupt_records`` and is skipped.  ``has_header`` is only set
+    when the header's ``kind``/``version`` match the expected dialect
+    (``kind=None`` accepts a header with no kind marker — the sweep
+    checkpoint dialect).
     """
     path = Path(path)
-    state = WalState()
+    scan = JournalScan()
     try:
         lines = path.read_text().splitlines()
     except OSError:
-        return state
+        return scan
     for i, line in enumerate(lines):
         try:
             rec = json.loads(line)
         except ValueError:
             if i == len(lines) - 1:
-                state.torn_tail = True
+                scan.torn_tail = True
             else:
-                state.corrupt_records += 1
+                scan.corrupt_records += 1
             continue
         if not isinstance(rec, dict) or rec.get("cs") != record_checksum(rec):
-            state.corrupt_records += 1
+            scan.corrupt_records += 1
             continue
         if rec.get("t") == "header":
-            if rec.get("kind") == WAL_KIND and rec.get("version") == WAL_VERSION:
-                state.has_header = True
+            if rec.get("kind") == kind and rec.get("version") == version:
+                scan.has_header = True
+                scan.header = rec
             else:
-                state.corrupt_records += 1
+                scan.corrupt_records += 1
             continue
+        scan.records.append(rec)
+    return scan
+
+
+def load_wal_state(path) -> WalState:
+    """Parse one WAL file, skipping (and counting) damaged records.
+
+    A missing file is an empty state.  Damage never raises, because the
+    serving daemon must come back up even when its journal took a hit
+    (``gpu-blob fsck --repair`` moves the damage aside offline).
+    """
+    scan = scan_journal(path, WAL_KIND, WAL_VERSION)
+    state = WalState(
+        corrupt_records=scan.corrupt_records,
+        torn_tail=scan.torn_tail,
+        has_header=scan.has_header,
+    )
+    for rec in scan.records:
         if not _apply_record(state, rec):
             state.corrupt_records += 1
     return state
 
 
-class WriteAheadLog:
-    """Append-only, fsynced journal of accepted serve jobs.
+class ChecksummedJournal:
+    """Shared write side of every durable journal dialect.
 
-    Opening repairs a torn tail, loads the surviving state, and — when
-    the file is new or headerless — rotates anything unusable to a
-    ``.bad`` sidecar and starts fresh, so construction never fails
-    closed on a damaged journal.
+    Subclasses set ``kind`` and ``version``; opening repairs a torn
+    tail, scans the surviving records, and — when the file is non-empty
+    but headerless (or carries a *different* dialect's header) —
+    rotates the unusable journal to a ``.bad`` sidecar and starts
+    fresh, so construction never fails closed on a damaged file.
+    Subclasses fold ``self.scan`` into their own state and may veto a
+    resume by overriding :meth:`_check_header` (raise before the append
+    handle opens).
 
     ``healthy`` tracks the last append: an ``OSError`` (disk full, the
     chaos harness's ``wal-stall`` fault) flips it False, the next
-    successful append flips it back — ``/readyz`` reports it.
+    successful append flips it back.
     """
 
-    def __init__(
-        self,
-        path,
-        owner: Optional[str] = None,
-        lease_s: float = 120.0,
-        clock=time.time,
-        sync: bool = True,
-    ) -> None:
-        if lease_s <= 0:
-            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+    kind: Optional[str] = None
+    version: int = 0
+
+    def __init__(self, path, clock=time.time, sync: bool = True) -> None:
         self.path = Path(path)
-        self.owner = owner if owner is not None else default_owner()
-        self.lease_s = lease_s
         self.clock = clock
         self.sync = sync
         self.healthy = True
@@ -244,24 +278,31 @@ class WriteAheadLog:
         existed = self.path.exists()
         if existed:
             repair_wal_tail(self.path)
-        self.state = load_wal_state(self.path)
-        if existed and not self.state.has_header and self.path.stat().st_size:
+        self.scan = scan_journal(self.path, self.kind, self.version)
+        if existed and not self.scan.has_header and self.path.stat().st_size:
             # a journal we cannot trust at all: move it aside, restart
             self.path.replace(self.path.with_name(self.path.name + ".bad"))
-            self.state = WalState()
-        self._next_id = self.state.next_id
+            self.scan = JournalScan()
+        self._check_header(self.scan)
         self._fh: Optional[TextIO] = self.path.open("a")
-        if not self.state.has_header:
+        if not self.scan.has_header:
             self._append({
-                "t": "header", "version": WAL_VERSION, "kind": WAL_KIND,
+                "t": "header", "version": self.version, "kind": self.kind,
+                **self._header_extra(),
             })
-            self.state.has_header = True
+            self.scan.has_header = True
 
-    # -- write side ----------------------------------------------------
+    def _header_extra(self) -> dict:
+        """Extra fields a dialect stamps into a fresh header."""
+        return {}
+
+    def _check_header(self, scan: JournalScan) -> None:
+        """Dialect hook: veto resuming from a header that verifies but
+        belongs to different work (raise before anything is written)."""
 
     def _append(self, record: dict) -> None:
         if self._fh is None:
-            raise ValueError("write-ahead log is closed")
+            raise ValueError(f"{type(self).__name__} is closed")
         record["cs"] = record_checksum(record)
         line = json.dumps(record, separators=(",", ":")) + "\n"
         try:
@@ -273,6 +314,45 @@ class WriteAheadLog:
             self.healthy = False
             raise
         self.healthy = True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class WriteAheadLog(ChecksummedJournal):
+    """Append-only, fsynced journal of accepted serve jobs.
+
+    See :class:`ChecksummedJournal` for the open/repair/rotate
+    behavior; ``/readyz`` reports :attr:`healthy`.
+    """
+
+    kind = WAL_KIND
+    version = WAL_VERSION
+
+    def __init__(
+        self,
+        path,
+        owner: Optional[str] = None,
+        lease_s: float = 120.0,
+        clock=time.time,
+        sync: bool = True,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        self.owner = owner if owner is not None else default_owner()
+        self.lease_s = lease_s
+        super().__init__(path, clock=clock, sync=sync)
+        self.state = WalState(
+            corrupt_records=self.scan.corrupt_records,
+            torn_tail=self.scan.torn_tail,
+            has_header=self.scan.has_header,
+        )
+        for rec in self.scan.records:
+            if not _apply_record(self.state, rec):
+                self.state.corrupt_records += 1
+        self._next_id = self.state.next_id
 
     def append_accept(self, key: str, query: dict, attempt: int = 1) -> int:
         """Journal one accepted job; returns its id.  Must be called
@@ -351,8 +431,3 @@ class WriteAheadLog:
             else:
                 active += 1
         return active, expired
-
-    def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None

@@ -245,3 +245,106 @@ def test_half_open_probe_recovers_the_service(tmp_path):
             await handle.drain(5.0)
 
     asyncio.run(check())
+
+
+def test_half_open_concurrent_claims_one_winner():
+    """A burst of simultaneous claims during half-open: exactly one
+    caller gets the probe slot, and a failed probe restarts the full
+    cooldown for everyone."""
+    clock = FakeClock()
+    b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+    b.record_failure()
+    clock.now = 10.0
+    claims = [b.allow() for _ in range(8)]
+    assert claims.count(True) == 1 and claims[0] is True
+    b.record_failure()  # the probe loses -> re-open, fresh cooldown
+    assert b.state is BreakerState.OPEN
+    assert b.retry_after_s() == pytest.approx(10.0)
+    assert not any(b.allow() for _ in range(4))
+    clock.now = 20.0
+    assert [b.allow() for _ in range(3)].count(True) == 1
+    b.record_success()
+    assert b.state is BreakerState.CLOSED and b.allow()
+
+
+def test_half_open_probe_race_loser_gets_cooldown_503(tmp_path):
+    """Two cold keys race for one half-open breaker: the first claims
+    the probe slot and runs; the concurrent loser is refused with a
+    retryable 503 *while the probe is still in flight* — it must not
+    queue a second execution behind the probe."""
+    import threading
+
+    class GatedSweep:
+        """Fails once to trip the breaker, then blocks the probe on an
+        event so a rival request provably overlaps it."""
+
+        def __init__(self) -> None:
+            self.calls = 0
+            self.started = threading.Event()
+            self.release = threading.Event()
+            config = RunConfig(
+                max_dim=64, step=16, iterations=9,
+                kernels=(Kernel.GEMM,), precisions=(Precision.SINGLE,),
+            )
+            self._result = run_sweep(
+                AnalyticBackend(make_model("dawn")), config, "dawn"
+            )
+
+        def __call__(self, backend, config, system_name=None, cache_dir=None):
+            self.calls += 1
+            if self.calls == 1:
+                raise TransientKernelError("injected: trip the breaker")
+            self.started.set()
+            assert self.release.wait(10.0), "probe never released"
+            return self._result
+
+    sweep = GatedSweep()
+
+    async def check():
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),  # empty: no stale answers
+            breaker_threshold=1,
+            breaker_reset_s=0.05,
+        )
+        handle = await start_server(config, sweep_fn=sweep)
+        prober = ServeClient(handle.host, handle.port)
+        rival = ServeClient(handle.host, handle.port)
+        loop = asyncio.get_running_loop()
+        try:
+            r = await prober.post("/v1/threshold", BODY)
+            assert r.status == 503  # breaker trips open
+            await asyncio.sleep(0.06)  # cooldown elapses -> half-open
+
+            probe_body = dict(BODY, iterations=9)
+            probe = asyncio.create_task(
+                prober.post("/v1/threshold", probe_body)
+            )
+            started = await loop.run_in_executor(
+                None, sweep.started.wait, 5.0
+            )
+            assert started, "probe request never reached the backend"
+
+            # the rival arrives while the probe holds the only slot
+            loser = await rival.post(
+                "/v1/threshold", dict(BODY, iterations=10)
+            )
+            assert loser.status == 503
+            assert "retry-after" in loser.headers
+            assert "half-open" in loser.json()["error"]["message"]
+            assert loser.degraded is False
+
+            sweep.release.set()
+            won = await probe
+            assert won.status == 200 and won.json()["degraded"] is False
+            assert sweep.calls == 2  # trip + probe; the loser ran nothing
+
+            metrics = (await prober.get("/metrics")).json()
+            assert metrics["breakers"]["dawn/analytic"]["state"] == "closed"
+        finally:
+            sweep.release.set()
+            await prober.close()
+            await rival.close()
+            await handle.drain(5.0)
+
+    asyncio.run(check())

@@ -180,3 +180,41 @@ def test_gemv_and_paradigm_selection(tmp_path):
             assert payload["threshold"]["dims"]["k"] == 0
 
     serve(check, tmp_path / "cache")
+
+
+def test_client_response_surfaces_degraded_answers():
+    """Degraded (stale-while-revalidate) answers must be *surfaceable*
+    without re-parsing: the Warning: 110 header, or the body's
+    ``degraded: true`` for transports that drop headers, plus the
+    ``stale_iterations`` annotation."""
+    import json as _json
+
+    from repro.serve.client import ClientResponse
+
+    warned = ClientResponse(
+        200,
+        {"warning": '110 gpu-blob "stale threshold"'},
+        b"{}",
+    )
+    assert warned.degraded is True and warned.warning.startswith("110")
+
+    body_only = ClientResponse(
+        200,
+        {},
+        _json.dumps(
+            {"degraded": True, "cache": {"stale_iterations": 12}}
+        ).encode(),
+    )
+    assert body_only.degraded is True
+    assert body_only.stale_iterations == 12
+
+    fresh = ClientResponse(
+        200, {}, b'{"degraded": false, "cache": {"hit": true}}'
+    )
+    assert fresh.degraded is False
+    assert fresh.stale_iterations is None
+    assert fresh.warning is None
+
+    unparseable = ClientResponse(503, {}, b"not json")
+    assert unparseable.degraded is False
+    assert unparseable.stale_iterations is None
